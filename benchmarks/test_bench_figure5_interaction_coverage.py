@@ -1,0 +1,32 @@
+"""Benchmark for Figure 5: amino-acid interaction coverage of the 55 fragments."""
+
+from __future__ import annotations
+
+from repro.analysis.interactions import interaction_coverage
+
+#: The paper reports 395 of the 400 interaction-matrix cells covered (98.75%).
+PAPER_COVERED = 395
+PAPER_FRACTION = 0.9875
+
+
+def _coverage():
+    cov = interaction_coverage()
+    print("\n=== Figure 5: interaction coverage ===")
+    print(f"covered pairs: {cov.covered_pairs}/400  ({100 * cov.coverage_fraction:.2f}%)  "
+          f"paper: {PAPER_COVERED}/400 ({100 * PAPER_FRACTION:.2f}%)")
+    print(f"missing pairs: {cov.missing_pairs}")
+    print(f"most frequent unordered pairs: {cov.most_frequent(6)}")
+    print(f"Miyazawa-Jernigan type coverage: {100 * cov.mj_coverage_fraction:.2f}%")
+    return cov
+
+
+def test_bench_figure5_interaction_coverage(benchmark):
+    cov = benchmark(_coverage)
+    assert cov.total_pairs == 400
+    # This quantity depends only on the published 55 sequences, so it should
+    # land within a few cells of the paper's 395/400.
+    assert abs(cov.covered_pairs - PAPER_COVERED) <= 15
+    assert cov.coverage_fraction >= 0.94
+    # The paper highlights G-A and L-G among the most frequent pairs.
+    frequent = {frozenset(p[:2]) for p in cov.most_frequent(8)}
+    assert frozenset({"G", "A"}) in frequent or frozenset({"L", "G"}) in frequent

@@ -1,0 +1,64 @@
+"""Benchmarks for the Sec. 4.2 resource gradient and the Sec. 1/5 runtime & cost claims."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.statistics import encoding_resource_table, resource_gradient
+from repro.dataset.fragments import PAPER_FRAGMENTS
+from repro.hardware.cost import CostModel
+from repro.hardware.timing import ExecutionTimeModel
+
+#: Paper Sec. 4.2 group averages.
+PAPER_GRADIENT = {
+    "S": {"qubit_mean": 23.0, "depth_mean": 127.0, "energy_range_mean": 541.7},
+    "M": {"qubit_mean": 79.4, "depth_mean": 262.0, "energy_range_mean": 2961.7},
+    "L": {"qubit_mean": 98.2, "depth_mean": 396.0, "energy_range_mean": 6883.6},
+}
+
+
+def _gradient(bank):
+    measured = resource_gradient(bank)
+    paper = resource_gradient(use_paper_values=True)
+    rows = []
+    for group in ("S", "M", "L"):
+        row = {"group": group}
+        if group in measured:
+            row.update({f"measured_{k}": v for k, v in measured[group].as_dict().items() if k != "group"})
+        row.update({f"paper_{k}": v for k, v in paper[group].as_dict().items() if k != "group"})
+        rows.append(row)
+    print("\n=== Sec. 4.2 resource gradient: measured vs paper ===")
+    print(format_table(rows, columns=[c for c in rows[0]]))
+    print("\nEncoding resource model (lengths 5-14):")
+    print(format_table(encoding_resource_table()))
+    return measured
+
+
+def test_bench_resource_gradient(benchmark, bench_bank):
+    measured = benchmark(_gradient, bench_bank)
+    # The S < M < L gradient must hold in every measured resource column.
+    groups = [g for g in ("S", "M", "L") if g in measured]
+    for a, b in zip(groups[:-1], groups[1:]):
+        assert measured[a].qubit_mean < measured[b].qubit_mean
+        assert measured[a].depth_mean < measured[b].depth_mean
+        assert measured[a].energy_range_mean < measured[b].energy_range_mean
+
+
+def _runtime_cost():
+    timing = ExecutionTimeModel()
+    cost_model = CostModel()
+    estimates = [timing.estimate(f.pdb_id, f.paper.qubits, f.paper.depth) for f in PAPER_FRAGMENTS]
+    qpu_hours = sum(e.qpu_seconds for e in estimates) / 3600.0
+    wall_hours = sum(e.total_seconds for e in estimates) / 3600.0
+    total_cost = cost_model.dataset_cost(estimates).total_usd
+    print("\n=== Sec. 1/5 dataset-scale claims (paper settings) ===")
+    print(f"total QPU time:        {qpu_hours:10.1f} h   (paper claim: > 60 h)")
+    print(f"total wall-clock time: {wall_hours:10.1f} h   (paper tables sum to "
+          f"{sum(f.paper.exec_time_s for f in PAPER_FRAGMENTS) / 3600.0:.1f} h)")
+    print(f"total cost:            {total_cost:10,.0f} USD (paper claim: > 1,000,000 USD)")
+    return qpu_hours, total_cost
+
+
+def test_bench_runtime_and_cost_claims(benchmark):
+    qpu_hours, total_cost = benchmark(_runtime_cost)
+    assert qpu_hours > 60.0
+    assert total_cost > 1_000_000.0

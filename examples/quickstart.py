@@ -1,0 +1,48 @@
+"""Quickstart: fold one pocket fragment with the quantum pipeline and evaluate it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PipelineConfig, QuantumFoldingPredictor
+from repro.bio.reference import ReferenceStructureGenerator
+from repro.bio.rmsd import ca_rmsd
+from repro.bio.pdb import structure_to_pdb_string
+from repro.docking.ligand import SyntheticLigandGenerator
+from repro.docking.vina import DockingEngine
+from repro.dataset.fragments import fragment_by_pdb_id
+
+
+def main() -> None:
+    fragment = fragment_by_pdb_id("2bok")  # EDACQGDSGG, a 10-residue protease-core motif
+    config = PipelineConfig.fast()
+
+    print(f"Folding {fragment.pdb_id} ({fragment.sequence}, residues {fragment.residue_range}) ...")
+    predictor = QuantumFoldingPredictor(config=config)
+    prediction = predictor.predict(fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start)
+
+    meta = prediction.metadata
+    print(f"  qubits: {meta['qubits']}  circuit depth: {meta['circuit_depth']}")
+    print(f"  lowest energy seen: {meta['lowest_energy']:.1f}  highest: {meta['highest_energy']:.1f}")
+    print(f"  modelled hardware execution time: {meta['execution_time_s']:.0f} s "
+          f"(~{meta['estimated_cost_usd']:.0f} USD)")
+
+    reference = ReferenceStructureGenerator().generate(fragment.pdb_id, fragment.sequence)
+    rmsd = ca_rmsd(prediction.structure, reference.structure)
+    print(f"  CA RMSD to the experimental reference: {rmsd:.2f} A")
+
+    ligand = SyntheticLigandGenerator().generate(reference)
+    docking = DockingEngine(num_seeds=4, num_poses=5, mc_steps=150).dock(
+        prediction.structure, ligand, receptor_id=f"{fragment.pdb_id}:QDock"
+    )
+    print(f"  docking affinity (mean best over {len(docking.runs)} seeds): "
+          f"{docking.mean_best_affinity:.2f} kcal/mol")
+    print(f"  pose RMSD bounds: l.b. {docking.mean_rmsd_lb:.2f} A  u.b. {docking.mean_rmsd_ub:.2f} A")
+
+    print("\nFirst lines of the predicted PDB file:")
+    print("\n".join(structure_to_pdb_string(prediction.structure).splitlines()[:8]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim so `pip install -e .` works without PEP 517 build isolation."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Analysis and report generation: comparisons, statistics, coverage, tables, plots."""
+
+from repro.analysis.comparison import MethodComparison, ScatterSeries, compare_methods, per_residue_case_study
+from repro.analysis.statistics import aggregate_statistics, resource_gradient, MethodStatistics
+from repro.analysis.interactions import interaction_coverage, InteractionCoverage
+from repro.analysis.report import (
+    build_group_table,
+    build_case_study_table,
+    format_table,
+    winrate_report,
+)
+from repro.analysis.ascii_plots import scatter_plot, histogram
+
+__all__ = [
+    "MethodComparison",
+    "ScatterSeries",
+    "compare_methods",
+    "per_residue_case_study",
+    "aggregate_statistics",
+    "resource_gradient",
+    "MethodStatistics",
+    "interaction_coverage",
+    "InteractionCoverage",
+    "build_group_table",
+    "build_case_study_table",
+    "format_table",
+    "winrate_report",
+    "scatter_plot",
+    "histogram",
+]

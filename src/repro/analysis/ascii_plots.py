@@ -1,0 +1,85 @@
+"""Text-mode rendering of the paper's figures (scatter panels and histograms).
+
+The benchmark harness and the examples run in terminal-only environments, so
+the figure content (Figs. 2–7) is rendered as ASCII plots: a scatter panel with
+the identity diagonal (points above = QDock better, as in the paper's caption)
+and simple histograms for distribution views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+
+def scatter_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 48,
+    height: int = 20,
+    xlabel: str = "baseline",
+    ylabel: str = "QDock",
+    title: str = "",
+    draw_diagonal: bool = True,
+) -> str:
+    """Render paired values as an ASCII scatter panel with the y=x diagonal.
+
+    ``x`` is the baseline method's value, ``y`` the reference (QDock) value —
+    matching the axes of Figs. 2 and 3: points *below* the diagonal mean QDock
+    achieved the lower (better) value.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size == 0 or x.shape != y.shape:
+        raise AnalysisError("scatter_plot needs non-empty, equally sized arrays")
+    lo = float(min(x.min(), y.min()))
+    hi = float(max(x.max(), y.max()))
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    span = hi - lo
+
+    grid = [[" "] * width for _ in range(height)]
+    if draw_diagonal:
+        for i in range(min(width, height * 2)):
+            col = int(i / max(width - 1, 1) * (width - 1))
+            row = height - 1 - int(i / max(width - 1, 1) * (height - 1))
+            grid[row][col] = "."
+    for xi, yi in zip(x, y):
+        col = int((xi - lo) / span * (width - 1))
+        row = height - 1 - int((yi - lo) / span * (height - 1))
+        grid[row][col] = "o"
+
+    lines = ["| " + "".join(r) for r in grid]
+    header = f"{title}  (y={ylabel}, x={xlabel}; range [{lo:.2f}, {hi:.2f}])"
+    footer = "+-" + "-" * width
+    return "\n".join([header] + lines + [footer])
+
+
+def histogram(values: np.ndarray, bins: int = 12, width: int = 40, title: str = "") -> str:
+    """Render a horizontal ASCII histogram."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise AnalysisError("histogram needs at least one value")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{left:8.2f}, {right:8.2f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def deviation_profile(deviations: dict[str, np.ndarray], threshold: float = 2.0, title: str = "") -> str:
+    """Render per-residue deviation profiles (Fig. 7) as a character strip.
+
+    Residues within ``threshold`` Angstroms of the reference are marked ``=``
+    (the paper's green), others ``X`` (the paper's red).
+    """
+    if not deviations:
+        raise AnalysisError("deviation_profile needs at least one method")
+    lines = [title] if title else []
+    for method, devs in deviations.items():
+        marks = "".join("=" if d <= threshold else "X" for d in np.asarray(devs, dtype=float))
+        lines.append(f"{method:>8s}  {marks}   (mean {float(np.mean(devs)):.2f} A)")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Aggregate statistics: Fig. 4 (per-method distributions) and the Sec. 4.2
+resource gradient (per-group qubits / depth / energy range averages)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.bank import QDockBank
+from repro.dataset.fragments import Fragment, PAPER_FRAGMENTS, GROUPS
+from repro.exceptions import AnalysisError
+from repro.lattice.encoding import circuit_depth_for_qubits, qubit_count_for_length
+
+
+@dataclass(frozen=True)
+class MethodStatistics:
+    """Distribution summary of one metric for one method (one Fig. 4 box)."""
+
+    method: str
+    metric: str
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {
+            "method": self.method,
+            "metric": self.metric,
+            "mean": self.mean,
+            "median": self.median,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "count": self.count,
+        }
+
+
+def _summarise(method: str, metric: str, values: list[float]) -> MethodStatistics:
+    if not values:
+        raise AnalysisError(f"no values to summarise for {method}/{metric}")
+    arr = np.asarray(values, dtype=float)
+    return MethodStatistics(
+        method=method,
+        metric=metric,
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def aggregate_statistics(bank: QDockBank, methods: list[str] | None = None) -> dict[str, dict[str, MethodStatistics]]:
+    """Per-method distribution summaries of affinity and RMSD (Fig. 4 content).
+
+    Returns ``{metric: {method: MethodStatistics}}``.
+    """
+    methods = methods or bank.methods()
+    out: dict[str, dict[str, MethodStatistics]] = {"affinity": {}, "rmsd": {}}
+    for method in methods:
+        affinities = [e.evaluation(method).affinity for e in bank.entries if method in e.evaluations]
+        rmsds = [e.evaluation(method).ca_rmsd for e in bank.entries if method in e.evaluations]
+        out["affinity"][method] = _summarise(method, "affinity", affinities)
+        out["rmsd"][method] = _summarise(method, "rmsd", rmsds)
+    return out
+
+
+@dataclass(frozen=True)
+class GroupResources:
+    """Per-group resource averages (the Sec. 4.2 computational-demand analysis)."""
+
+    group: str
+    count: int
+    qubit_min: int
+    qubit_max: int
+    qubit_mean: float
+    depth_mean: float
+    energy_range_mean: float
+    exec_time_min: float
+    exec_time_max: float
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {
+            "group": self.group,
+            "count": self.count,
+            "qubit_min": self.qubit_min,
+            "qubit_max": self.qubit_max,
+            "qubit_mean": self.qubit_mean,
+            "depth_mean": self.depth_mean,
+            "energy_range_mean": self.energy_range_mean,
+            "exec_time_min": self.exec_time_min,
+            "exec_time_max": self.exec_time_max,
+        }
+
+
+def resource_gradient(bank: QDockBank | None = None, use_paper_values: bool = False) -> dict[str, GroupResources]:
+    """Per-group averages of qubits, depth, energy range and execution time.
+
+    With ``use_paper_values=True`` (or when no bank is given) the gradient is
+    computed from the paper's reported per-fragment values; otherwise it uses
+    the bank's measured metadata.
+    """
+    out: dict[str, GroupResources] = {}
+    for group in GROUPS:
+        if bank is not None and not use_paper_values:
+            entries = bank.group(group)
+            if not entries:
+                continue
+            qubits = [int(e.quantum_metadata["qubits"]) for e in entries]
+            depths = [int(e.quantum_metadata["circuit_depth"]) for e in entries]
+            ranges = [float(e.quantum_metadata["energy_range"]) for e in entries]
+            times = [float(e.quantum_metadata["execution_time_s"]) for e in entries]
+        else:
+            fragments: list[Fragment] = [f for f in PAPER_FRAGMENTS if f.group == group]
+            qubits = [f.paper.qubits for f in fragments]
+            depths = [f.paper.depth for f in fragments]
+            ranges = [f.paper.energy_range for f in fragments]
+            times = [f.paper.exec_time_s for f in fragments]
+        out[group] = GroupResources(
+            group=group,
+            count=len(qubits),
+            qubit_min=int(min(qubits)),
+            qubit_max=int(max(qubits)),
+            qubit_mean=float(np.mean(qubits)),
+            depth_mean=float(np.mean(depths)),
+            energy_range_mean=float(np.mean(ranges)),
+            exec_time_min=float(min(times)),
+            exec_time_max=float(max(times)),
+        )
+    return out
+
+
+def encoding_resource_table() -> list[dict]:
+    """Qubits and depth predicted by the encoding model for lengths 5–14.
+
+    Used to verify that the resource model reproduces the paper's per-length
+    qubit counts and the ``depth = 4·q + 5`` relation.
+    """
+    rows = []
+    for length in range(5, 15):
+        qubits = qubit_count_for_length(length)
+        rows.append(
+            {
+                "length": length,
+                "qubits": qubits,
+                "depth": circuit_depth_for_qubits(qubits),
+            }
+        )
+    return rows

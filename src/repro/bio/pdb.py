@@ -1,0 +1,133 @@
+"""Minimal PDB format reader / writer.
+
+QDockBank ships every predicted fragment as a standard PDB file (Sec. 4.2 and
+7.1).  This module implements the subset of the PDB specification the dataset
+needs: ``HEADER``, ``REMARK``, ``ATOM``, ``TER`` and ``END`` records with
+column-accurate formatting so the files load in PyMOL/Chimera-style tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bio.amino_acids import three_to_one
+from repro.bio.structure import Atom, Chain, Residue, Structure
+from repro.exceptions import PDBFormatError
+
+_ATOM_FMT = (
+    "ATOM  {serial:>5d} {name:^4s}{altloc:1s}{resname:>3s} {chain:1s}"
+    "{resseq:>4d}{icode:1s}   {x:8.3f}{y:8.3f}{z:8.3f}{occ:6.2f}{bfac:6.2f}"
+    "          {element:>2s}{charge:2s}"
+)
+
+
+def _format_atom_name(name: str) -> str:
+    """PDB atom-name column quirk: names shorter than 4 chars start in column 14."""
+    if len(name) >= 4:
+        return name[:4]
+    return f" {name:<3s}"
+
+
+def structure_to_pdb_string(structure: Structure, remarks: list[str] | None = None) -> str:
+    """Render a :class:`Structure` as PDB-format text."""
+    lines: list[str] = []
+    lines.append(f"HEADER    QDOCKBANK FRAGMENT                      {structure.structure_id[:20]:<20s}")
+    for remark in remarks or []:
+        lines.append(f"REMARK 300 {remark[:68]}")
+    serial = 1
+    for chain in structure.chains:
+        last_residue: Residue | None = None
+        for residue in chain.residues:
+            for atom in residue.atoms:
+                lines.append(
+                    _ATOM_FMT.format(
+                        serial=serial,
+                        name=_format_atom_name(atom.name),
+                        altloc=" ",
+                        resname=residue.three,
+                        chain=chain.chain_id[:1] or "A",
+                        resseq=residue.seq_id,
+                        icode=" ",
+                        x=atom.coords[0],
+                        y=atom.coords[1],
+                        z=atom.coords[2],
+                        occ=atom.occupancy,
+                        bfac=atom.b_factor,
+                        element=atom.element[:2].upper(),
+                        charge="  ",
+                    )
+                )
+                serial += 1
+            last_residue = residue
+        if last_residue is not None:
+            lines.append(
+                f"TER   {serial:>5d}      {last_residue.three:>3s} "
+                f"{chain.chain_id[:1] or 'A'}{last_residue.seq_id:>4d}"
+            )
+            serial += 1
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def write_pdb(structure: Structure, path: str | Path, remarks: list[str] | None = None) -> Path:
+    """Write a structure to ``path`` in PDB format."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(structure_to_pdb_string(structure, remarks), encoding="utf-8")
+    return p
+
+
+def read_pdb(path_or_text: str | Path) -> Structure:
+    """Parse a PDB file (or a PDB-format string) into a :class:`Structure`.
+
+    Only ``ATOM`` records are interpreted; alternate locations other than
+    blank/'A' are skipped.  Raises :class:`PDBFormatError` on malformed records.
+    """
+    if isinstance(path_or_text, Path) or (
+        isinstance(path_or_text, str) and "\n" not in path_or_text and Path(path_or_text).exists()
+    ):
+        text = Path(path_or_text).read_text(encoding="utf-8")
+        structure_id = Path(path_or_text).stem
+    else:
+        text = str(path_or_text)
+        structure_id = "PDB"
+
+    chains: dict[str, Chain] = {}
+    current: dict[tuple[str, int], Residue] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.startswith("ATOM"):
+            continue
+        if len(line) < 54:
+            raise PDBFormatError(f"truncated ATOM record at line {lineno}")
+        altloc = line[16]
+        if altloc not in (" ", "A"):
+            continue
+        try:
+            name = line[12:16].strip()
+            resname = line[17:20].strip()
+            chain_id = line[21].strip() or "A"
+            resseq = int(line[22:26])
+            x = float(line[30:38])
+            y = float(line[38:46])
+            z = float(line[46:54])
+            occ = float(line[54:60]) if len(line) >= 60 and line[54:60].strip() else 1.0
+            bfac = float(line[60:66]) if len(line) >= 66 and line[60:66].strip() else 0.0
+            element = line[76:78].strip() if len(line) >= 78 and line[76:78].strip() else name[:1]
+        except ValueError as exc:
+            raise PDBFormatError(f"malformed ATOM record at line {lineno}: {exc}") from exc
+
+        code = three_to_one(resname)
+        chain = chains.setdefault(chain_id, Chain(chain_id))
+        key = (chain_id, resseq)
+        residue = current.get(key)
+        if residue is None:
+            residue = Residue(code, resseq)
+            current[key] = residue
+            chain.residues.append(residue)
+        residue.atoms.append(Atom(name, element, (x, y, z), 0.0, occ, bfac))
+
+    if not chains:
+        raise PDBFormatError("no ATOM records found in PDB input")
+    ordered = [chains[cid] for cid in sorted(chains)]
+    return Structure(structure_id, ordered)

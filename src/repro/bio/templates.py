@@ -1,0 +1,117 @@
+"""Residue backbone templates and Gasteiger-like partial charges.
+
+The quantum pipeline produces Cα traces on a coarse-grained lattice; the paper
+then "refines [them] by applying standard amino acid templates" and adds
+hydrogens / charges with Open Babel (Sec. 4.3.3).  This module provides that
+substrate:
+
+* ideal backbone internal geometry (bond lengths / angles) used to place
+  N, C and O atoms around each Cα given the chain direction;
+* a single pseudo side-chain atom (CB) per non-glycine residue, scaled by
+  side-chain volume, which is what the coarse-grained docking scorer needs;
+* simple per-atom partial charges in the spirit of Gasteiger charges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.amino_acids import get as get_aa
+from repro.bio.structure import Atom, Chain, Residue, Structure
+from repro.exceptions import StructureError
+
+# Ideal backbone geometry (Angstroms / degrees) from standard peptide geometry.
+BOND_N_CA = 1.458
+BOND_CA_C = 1.525
+BOND_C_O = 1.231
+BOND_CA_CB = 1.530
+BOND_C_N = 1.329  # peptide bond
+
+#: Partial charges assigned to backbone atoms (united-atom convention: the
+#: amide nitrogen carries its hydrogen, so the NH group is net positive).
+BACKBONE_CHARGES: dict[str, float] = {"N": 0.25, "CA": 0.10, "C": 0.45, "O": -0.45, "CB": 0.0}
+
+
+def _unit(v: np.ndarray) -> np.ndarray:
+    n = np.linalg.norm(v)
+    if n < 1e-12:
+        raise StructureError("degenerate direction vector in backbone templating")
+    return v / n
+
+
+def _perpendicular(v: np.ndarray) -> np.ndarray:
+    """A unit vector perpendicular to ``v`` (deterministic choice)."""
+    v = _unit(v)
+    trial = np.array([1.0, 0.0, 0.0])
+    if abs(np.dot(trial, v)) > 0.9:
+        trial = np.array([0.0, 1.0, 0.0])
+    perp = trial - np.dot(trial, v) * v
+    return _unit(perp)
+
+
+def sidechain_charge(code: str) -> float:
+    """Partial charge placed on the CB pseudo side-chain atom."""
+    aa = get_aa(code)
+    if aa.charge != 0:
+        return 0.5 * aa.charge
+    if aa.polar:
+        return -0.10
+    return 0.0
+
+
+def build_backbone_from_ca(
+    sequence: str,
+    ca_coords: np.ndarray,
+    structure_id: str = "FRAG",
+    start_seq_id: int = 1,
+) -> Structure:
+    """Expand a Cα trace into a full-backbone structure with pseudo side chains.
+
+    For each residue the N atom is placed towards the previous Cα, the C atom
+    towards the next Cα, the carbonyl O off the CA→C direction, and a CB
+    pseudo-atom along the local normal (except glycine).  Terminal residues
+    reuse the direction of their single neighbour.  The construction is purely
+    geometric and deterministic, which is all the rigid-body docking and RMSD
+    evaluation downstream require.
+    """
+    ca = np.asarray(ca_coords, dtype=float)
+    L = len(sequence)
+    if ca.shape != (L, 3):
+        raise StructureError(f"expected ({L}, 3) CA coordinates, got {ca.shape}")
+    if L < 2:
+        raise StructureError("cannot build a backbone for fewer than 2 residues")
+
+    chain = Chain("A")
+    for i, code in enumerate(sequence):
+        prev_dir = _unit(ca[i] - ca[i - 1]) if i > 0 else _unit(ca[i + 1] - ca[i])
+        next_dir = _unit(ca[i + 1] - ca[i]) if i < L - 1 else _unit(ca[i] - ca[i - 1])
+
+        n_pos = ca[i] - BOND_N_CA * prev_dir
+        c_pos = ca[i] + BOND_CA_C * next_dir
+
+        # Carbonyl oxygen: off the CA->C axis, in the plane defined by the
+        # backbone direction and a deterministic perpendicular.
+        perp = _perpendicular(next_dir)
+        o_dir = _unit(0.55 * perp - 0.83 * next_dir) if i < L - 1 else perp
+        o_pos = c_pos + BOND_C_O * _unit(o_dir + 1e-6)
+
+        atoms = [
+            Atom("N", "N", n_pos, BACKBONE_CHARGES["N"]),
+            Atom("CA", "C", ca[i], BACKBONE_CHARGES["CA"]),
+            Atom("C", "C", c_pos, BACKBONE_CHARGES["C"]),
+            Atom("O", "O", o_pos, BACKBONE_CHARGES["O"]),
+        ]
+
+        if code.upper() != "G":
+            # Pseudo side chain along the local normal, scaled by volume.
+            normal = np.cross(prev_dir, next_dir)
+            if np.linalg.norm(normal) < 1e-6:
+                normal = _perpendicular(next_dir)
+            cb_dir = _unit(_unit(normal) - 0.5 * (prev_dir + next_dir))
+            scale = BOND_CA_CB * (get_aa(code).volume / 140.0) ** (1.0 / 3.0)
+            cb_pos = ca[i] + scale * cb_dir
+            atoms.append(Atom("CB", "C", cb_pos, sidechain_charge(code)))
+
+        chain.residues.append(Residue(code, start_seq_id + i, atoms))
+
+    return Structure(structure_id, [chain])

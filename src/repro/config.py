@@ -1,0 +1,105 @@
+"""Global configuration defaults for the QDockBank reproduction pipeline.
+
+The paper's production runs use 200+ COBYLA iterations and 100,000 final
+measurement shots per fragment on a 127-qubit device.  Those settings are far
+too expensive for CI-scale runs, so :class:`PipelineConfig` captures every
+knob in one place with two presets:
+
+* :func:`PipelineConfig.paper` — the settings reported in the paper
+  (Sections 4–5); use these when regenerating the dataset at full fidelity.
+* :func:`PipelineConfig.fast` — a scaled-down preset used by the test suite
+  and benchmarks; the *shape* of every result is preserved while keeping a
+  full 55-fragment sweep to a few minutes of CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All tunables of the fold → reconstruct → dock pipeline.
+
+    Attributes
+    ----------
+    vqe_iterations:
+        Maximum number of classical optimiser iterations (paper: >200).
+    optimisation_shots:
+        Shots per expectation-value estimate during stage 1.
+    final_shots:
+        Shots for the stage-2 fixed-parameter sampling (paper: 100,000).
+    ansatz_reps:
+        Number of EfficientSU2 repetition blocks.
+    max_statevector_qubits:
+        Above this size the MPS / emulator backends are used instead of the
+        exact statevector simulator.
+    mps_bond_dimension:
+        Bond-dimension cap of the MPS backend.
+    ancilla_margin:
+        Extra qubits allocated per job to reduce routing depth (Sec. 5.3).
+    docking_seeds:
+        Independent docking runs per structure (paper: 20).
+    docking_poses:
+        Poses returned per run (paper: top 10).
+    docking_mc_steps:
+        Monte-Carlo steps per docking run.
+    noise_enabled:
+        Whether the hardware emulator injects readout / depolarising noise.
+    seed:
+        Master seed; every task derives its own deterministic child seed.
+    """
+
+    vqe_iterations: int = 60
+    optimisation_shots: int = 256
+    final_shots: int = 2048
+    ansatz_reps: int = 1
+    max_statevector_qubits: int = 16
+    mps_bond_dimension: int = 8
+    ancilla_margin: int = 5
+    docking_seeds: int = 20
+    docking_poses: int = 10
+    docking_mc_steps: int = 120
+    noise_enabled: bool = True
+    seed: int = 2025
+    #: CVaR fraction used by the stage-1 objective (1.0 = plain expectation).
+    cvar_alpha: float = 0.2
+    #: Cap applied to the width-scaled stage-2 shot count.
+    max_final_shots: int = 100_000
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def paper(cls) -> "PipelineConfig":
+        """Settings matching the paper's production runs."""
+        return cls(
+            vqe_iterations=220,
+            optimisation_shots=4096,
+            final_shots=100_000,
+            ansatz_reps=1,
+            ancilla_margin=8,
+            docking_seeds=20,
+            docking_poses=10,
+            docking_mc_steps=2000,
+        )
+
+    @classmethod
+    def fast(cls) -> "PipelineConfig":
+        """Scaled-down settings for tests and benchmarks."""
+        return cls(
+            vqe_iterations=30,
+            optimisation_shots=192,
+            final_shots=1024,
+            ansatz_reps=1,
+            ancilla_margin=5,
+            docking_seeds=4,
+            docking_poses=5,
+            docking_mc_steps=120,
+        )
+
+    def with_updates(self, **kwargs: Any) -> "PipelineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = PipelineConfig()

@@ -1,0 +1,135 @@
+"""Batch construction of dataset entries (the Sec. 5.2 architecture, classically).
+
+Every fragment is an independent work item: fold with the quantum pipeline,
+fold with both baselines, generate the reference and the native-like ligand,
+dock all structures, and assemble a :class:`~repro.dataset.entry.QDockBankEntry`.
+:class:`BatchProcessor` runs those work items either serially or on a process
+pool via :class:`~repro.utils.parallel.ParallelExecutor`; results are
+deterministic either way because every stochastic component derives its seed
+from the master seed plus the fragment identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.reference import ReferenceStructureGenerator
+from repro.bio.rmsd import ca_rmsd
+from repro.config import PipelineConfig
+from repro.dataset.entry import MethodEvaluation, QDockBankEntry
+from repro.dataset.fragments import Fragment
+from repro.docking.ligand import SyntheticLigandGenerator
+from repro.docking.vina import DockingEngine, DockingResult
+from repro.folding.baselines import AF2LikePredictor, AF3LikePredictor
+from repro.folding.predictor import FoldingPrediction, QuantumFoldingPredictor
+from repro.utils.parallel import ParallelExecutor
+
+
+@dataclass(frozen=True)
+class FragmentTask:
+    """A picklable unit of work: one fragment plus the pipeline configuration."""
+
+    fragment: Fragment
+    config: PipelineConfig
+    keep_structures: bool = True
+    include_baselines: bool = True
+
+
+def _evaluate_method(
+    prediction: FoldingPrediction,
+    reference_structure,
+    docking: DockingResult,
+) -> MethodEvaluation:
+    return MethodEvaluation(
+        method=prediction.method,
+        ca_rmsd=ca_rmsd(prediction.structure, reference_structure),
+        affinity=docking.mean_best_affinity,
+        docking_rmsd_lb=docking.mean_rmsd_lb,
+        docking_rmsd_ub=docking.mean_rmsd_ub,
+        docking_summary=docking.as_dict(),
+    )
+
+
+def build_entry(task: FragmentTask) -> QDockBankEntry:
+    """Build the complete dataset entry for one fragment.
+
+    This is a module-level function (not a method) so it can be dispatched to
+    worker processes by :class:`BatchProcessor`.
+    """
+    fragment = task.fragment
+    config = task.config
+
+    reference_generator = ReferenceStructureGenerator(master_seed=config.seed)
+    reference = reference_generator.generate(
+        fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
+    )
+    ligand = SyntheticLigandGenerator(master_seed=config.seed).generate(reference)
+
+    docking_engine = DockingEngine(
+        num_seeds=config.docking_seeds,
+        num_poses=config.docking_poses,
+        mc_steps=config.docking_mc_steps,
+        master_seed=config.seed,
+    )
+
+    # Quantum prediction (the dataset's primary content).
+    quantum = QuantumFoldingPredictor(config=config)
+    qdock_prediction = quantum.predict(
+        fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
+    )
+    qdock_docking = docking_engine.dock(
+        qdock_prediction.structure, ligand, receptor_id=f"{fragment.pdb_id}:QDock"
+    )
+
+    entry = QDockBankEntry(
+        fragment=fragment,
+        quantum_metadata=qdock_prediction.metadata,
+        predicted_structure=qdock_prediction.structure if task.keep_structures else None,
+        reference_structure=reference.structure if task.keep_structures else None,
+    )
+    entry.evaluations["QDock"] = _evaluate_method(qdock_prediction, reference.structure, qdock_docking)
+
+    if task.include_baselines:
+        for predictor in (
+            AF2LikePredictor(reference_generator=reference_generator),
+            AF3LikePredictor(reference_generator=reference_generator),
+        ):
+            prediction = predictor.predict(
+                fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
+            )
+            docking = docking_engine.dock(
+                prediction.structure, ligand, receptor_id=f"{fragment.pdb_id}:{prediction.method}"
+            )
+            entry.evaluations[prediction.method] = _evaluate_method(
+                prediction, reference.structure, docking
+            )
+            if task.keep_structures:
+                entry.baseline_structures[prediction.method] = prediction.structure
+
+    return entry
+
+
+class BatchProcessor:
+    """Builds entries for many fragments, optionally on a process pool."""
+
+    def __init__(self, config: PipelineConfig | None = None, executor: ParallelExecutor | None = None):
+        self.config = config or PipelineConfig()
+        self.executor = executor or ParallelExecutor(processes=0)
+
+    def build_entries(
+        self,
+        fragments: list[Fragment],
+        keep_structures: bool = True,
+        include_baselines: bool = True,
+    ) -> list[QDockBankEntry]:
+        """Build entries for ``fragments`` (order preserved)."""
+        tasks = [
+            FragmentTask(
+                fragment=f,
+                config=self.config,
+                keep_structures=keep_structures,
+                include_baselines=include_baselines,
+            )
+            for f in fragments
+        ]
+        return self.executor.map(build_entry, tasks)

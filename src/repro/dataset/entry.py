@@ -1,0 +1,104 @@
+"""One QDockBank entry: a fragment with predictions, docking and metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bio.structure import Structure
+from repro.dataset.fragments import Fragment
+from repro.exceptions import DatasetError
+
+
+@dataclass
+class MethodEvaluation:
+    """Evaluation of one prediction method on one fragment."""
+
+    method: str
+    ca_rmsd: float
+    affinity: float
+    docking_rmsd_lb: float
+    docking_rmsd_ub: float
+    docking_summary: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable view."""
+        return {
+            "method": self.method,
+            "ca_rmsd": float(self.ca_rmsd),
+            "affinity": float(self.affinity),
+            "docking_rmsd_lb": float(self.docking_rmsd_lb),
+            "docking_rmsd_ub": float(self.docking_rmsd_ub),
+            "docking_summary": self.docking_summary,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MethodEvaluation":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            method=data["method"],
+            ca_rmsd=float(data["ca_rmsd"]),
+            affinity=float(data["affinity"]),
+            docking_rmsd_lb=float(data.get("docking_rmsd_lb", 0.0)),
+            docking_rmsd_ub=float(data.get("docking_rmsd_ub", 0.0)),
+            docking_summary=data.get("docking_summary", {}),
+        )
+
+
+@dataclass
+class QDockBankEntry:
+    """One fragment's complete dataset record.
+
+    The three per-entry files of the published dataset layout (Sec. 4.2) map to:
+
+    * ``predicted.pdb`` — :attr:`predicted_structure` (the QDock prediction);
+    * ``metadata.json`` — :attr:`quantum_metadata`;
+    * ``docking.json`` — the docking summaries inside :attr:`evaluations`.
+    """
+
+    fragment: Fragment
+    quantum_metadata: dict[str, Any] = field(default_factory=dict)
+    evaluations: dict[str, MethodEvaluation] = field(default_factory=dict)
+    predicted_structure: Structure | None = None
+    reference_structure: Structure | None = None
+    baseline_structures: dict[str, Structure] = field(default_factory=dict)
+
+    @property
+    def pdb_id(self) -> str:
+        """PDB ID of the parent protein."""
+        return self.fragment.pdb_id
+
+    @property
+    def group(self) -> str:
+        """Length group (S/M/L)."""
+        return self.fragment.group
+
+    def evaluation(self, method: str) -> MethodEvaluation:
+        """Evaluation of one method, raising a clear error when absent."""
+        try:
+            return self.evaluations[method]
+        except KeyError:
+            raise DatasetError(
+                f"entry {self.pdb_id} has no evaluation for method {method!r}; "
+                f"available: {sorted(self.evaluations)}"
+            ) from None
+
+    def metrics_record(self) -> dict[str, Any]:
+        """Flat record used by the analysis layer and the index JSON."""
+        record: dict[str, Any] = {
+            "pdb_id": self.pdb_id,
+            "sequence": self.fragment.sequence,
+            "length": self.fragment.length,
+            "group": self.group,
+            "functional_class": self.fragment.functional_class,
+            "qubits": self.quantum_metadata.get("qubits"),
+            "circuit_depth": self.quantum_metadata.get("circuit_depth"),
+            "lowest_energy": self.quantum_metadata.get("lowest_energy"),
+            "highest_energy": self.quantum_metadata.get("highest_energy"),
+            "energy_range": self.quantum_metadata.get("energy_range"),
+            "execution_time_s": self.quantum_metadata.get("execution_time_s"),
+        }
+        for method, ev in self.evaluations.items():
+            record[f"rmsd_{method}"] = ev.ca_rmsd
+            record[f"affinity_{method}"] = ev.affinity
+        return record

@@ -1,0 +1,19 @@
+"""Rigid protein–ligand docking engine (AutoDock Vina substitute)."""
+
+from repro.docking.ligand import Ligand, SyntheticLigandGenerator
+from repro.docking.scoring import VinaScoringFunction, ScoringWeights
+from repro.docking.search import MonteCarloPoseSearch, Pose
+from repro.docking.vina import DockingEngine, DockingResult, DockingRun, DockedPose
+
+__all__ = [
+    "Ligand",
+    "SyntheticLigandGenerator",
+    "VinaScoringFunction",
+    "ScoringWeights",
+    "MonteCarloPoseSearch",
+    "Pose",
+    "DockingEngine",
+    "DockingResult",
+    "DockingRun",
+    "DockedPose",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch pipeline failures at the granularity they care about (a single fragment,
+a docking run, a transpilation) without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SequenceError(ReproError):
+    """Invalid protein sequence (unknown residue code, bad length, ...)."""
+
+
+class StructureError(ReproError):
+    """Invalid or inconsistent molecular structure."""
+
+
+class PDBFormatError(StructureError):
+    """A PDB file or record could not be parsed or written."""
+
+
+class LatticeError(ReproError):
+    """Invalid lattice conformation or encoding."""
+
+
+class EncodingError(LatticeError):
+    """A sequence cannot be encoded onto the lattice / qubit register."""
+
+
+class HamiltonianError(ReproError):
+    """Inconsistent Hamiltonian construction."""
+
+
+class CircuitError(ReproError):
+    """Invalid quantum circuit operation."""
+
+
+class BackendError(ReproError):
+    """A quantum backend could not execute the requested job."""
+
+
+class TranspilerError(ReproError):
+    """Circuit could not be mapped onto the target device."""
+
+
+class VQEError(ReproError):
+    """VQE optimisation failure."""
+
+
+class DockingError(ReproError):
+    """Docking engine failure (no poses, bad ligand, ...)."""
+
+
+class DatasetError(ReproError):
+    """Dataset construction / loading failure."""
+
+
+class AnalysisError(ReproError):
+    """Analysis or report-generation failure."""

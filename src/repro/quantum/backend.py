@@ -1,0 +1,103 @@
+"""Execution backends: a common interface over the simulators.
+
+A backend takes a *bound* circuit and a shot count and returns a counts
+dictionary (bitstring → frequency), mirroring the sampler primitive the paper
+uses on IBM hardware.  Three backends are provided:
+
+* :class:`StatevectorBackend` — exact, for narrow circuits (tests, oracles);
+* :class:`MPSBackend` — bounded-bond-dimension MPS, exact for the linear
+  EfficientSU2 circuits used by the pipeline and scalable to 100+ qubits;
+* :class:`AutoBackend` — picks the statevector simulator when the circuit is
+  small enough and falls back to MPS otherwise.
+
+The noisy hardware emulator (:class:`repro.hardware.eagle.EagleEmulatorBackend`)
+derives from :class:`MPSBackend` and adds transpilation metadata, noise and
+timing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import BackendError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.mps import MPSSimulator
+from repro.quantum.statevector import StatevectorSimulator
+
+
+def samples_to_bitstrings(samples: np.ndarray) -> list[str]:
+    """Convert a (shots, n) 0/1 array into bitstring form."""
+    samples = np.asarray(samples, dtype=np.uint8)
+    if samples.ndim != 2:
+        raise BackendError(f"samples must be 2-D, got shape {samples.shape}")
+    chars = samples + ord("0")
+    return [row.tobytes().decode("ascii") for row in chars.astype(np.uint8)]
+
+
+def counts_from_samples(samples: np.ndarray) -> dict[str, int]:
+    """Aggregate a (shots, n) sample array into a counts dictionary."""
+    counts: dict[str, int] = {}
+    for bits in samples_to_bitstrings(samples):
+        counts[bits] = counts.get(bits, 0) + 1
+    return counts
+
+
+class Backend(ABC):
+    """Interface of every execution backend."""
+
+    name: str = "backend"
+
+    @abstractmethod
+    def sample_array(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Return a (shots, num_qubits) array of measurement outcomes."""
+
+    def run(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> dict[str, int]:
+        """Execute and return a counts dictionary."""
+        return counts_from_samples(self.sample_array(circuit, shots, rng))
+
+
+class StatevectorBackend(Backend):
+    """Exact dense-statevector execution (small circuits)."""
+
+    name = "statevector"
+
+    def __init__(self, max_qubits: int = 24):
+        self._sim = StatevectorSimulator(max_qubits=max_qubits)
+
+    def sample_array(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> np.ndarray:
+        return self._sim.sample(circuit, shots, rng)
+
+
+class MPSBackend(Backend):
+    """Bounded-bond-dimension MPS execution (scales to 100+ qubits)."""
+
+    name = "mps"
+
+    def __init__(self, max_bond_dimension: int = 16):
+        self._sim = MPSSimulator(max_bond_dimension=max_bond_dimension)
+        self.max_bond_dimension = max_bond_dimension
+
+    def sample_array(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> np.ndarray:
+        return self._sim.sample(circuit, shots, rng)
+
+
+class AutoBackend(Backend):
+    """Statevector when feasible, MPS otherwise."""
+
+    name = "auto"
+
+    def __init__(self, max_statevector_qubits: int = 16, max_bond_dimension: int = 16):
+        self.max_statevector_qubits = int(max_statevector_qubits)
+        self._sv = StatevectorBackend(max_qubits=max(max_statevector_qubits, 1))
+        self._mps = MPSBackend(max_bond_dimension=max_bond_dimension)
+
+    def sample_array(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> np.ndarray:
+        if circuit.num_qubits <= self.max_statevector_qubits:
+            return self._sv.sample_array(circuit, shots, rng)
+        return self._mps.sample_array(circuit, shots, rng)
+
+    def chosen_backend(self, circuit: QuantumCircuit) -> str:
+        """Name of the backend that would execute this circuit."""
+        return "statevector" if circuit.num_qubits <= self.max_statevector_qubits else "mps"

@@ -1,0 +1,233 @@
+"""Parameterised quantum circuits.
+
+A deliberately small circuit IR: a circuit is a list of
+:class:`Instruction` objects (gate name, qubit tuple, parameters).  Parameters
+may be free (:class:`Parameter`) or bound floats; :meth:`QuantumCircuit.bind`
+produces a fully bound copy for the simulators.  Depth and gate counting are
+implemented the way Qiskit defines them (greedy per-qubit layering), which is
+what the paper's "circuit depth after parameterisation" column reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.gates import GATE_ARITY
+
+
+class Parameter:
+    """A named free parameter of a circuit."""
+
+    _counter = itertools.count()
+
+    def __init__(self, name: str | None = None):
+        self.name = name if name is not None else f"θ{next(self._counter)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Parameter({self.name!r})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application."""
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[object, ...] = ()
+
+    @property
+    def is_parameterised(self) -> bool:
+        """True when any parameter is an unbound :class:`Parameter`."""
+        return any(isinstance(p, Parameter) for p in self.params)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this instruction acts on."""
+        return len(self.qubits)
+
+
+@dataclass
+class QuantumCircuit:
+    """An ordered list of gate applications on ``num_qubits`` qubits."""
+
+    num_qubits: int
+    instructions: list[Instruction] = field(default_factory=list)
+    name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise CircuitError(f"a circuit needs at least one qubit, got {self.num_qubits}")
+
+    # -- gate builders ----------------------------------------------------------
+
+    def append(self, name: str, qubits: Sequence[int], params: Sequence[object] = ()) -> "QuantumCircuit":
+        """Append a gate, validating qubit indices and arity."""
+        name = name.lower()
+        qubits = tuple(int(q) for q in qubits)
+        for q in qubits:
+            if not (0 <= q < self.num_qubits):
+                raise CircuitError(f"qubit index {q} out of range for {self.num_qubits}-qubit circuit")
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits in gate {name!r}: {qubits}")
+        expected = GATE_ARITY.get(name)
+        if expected is not None and expected != len(qubits):
+            raise CircuitError(
+                f"gate {name!r} acts on {expected} qubits, got {len(qubits)}"
+            )
+        self.instructions.append(Instruction(name, qubits, tuple(params)))
+        return self
+
+    def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X gate."""
+        return self.append("x", (q,))
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        """Sqrt-X gate."""
+        return self.append("sx", (q,))
+
+    def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard gate."""
+        return self.append("h", (q,))
+
+    def rx(self, theta: object, q: int) -> "QuantumCircuit":
+        """X-rotation gate."""
+        return self.append("rx", (q,), (theta,))
+
+    def ry(self, theta: object, q: int) -> "QuantumCircuit":
+        """Y-rotation gate."""
+        return self.append("ry", (q,), (theta,))
+
+    def rz(self, theta: object, q: int) -> "QuantumCircuit":
+        """Z-rotation gate."""
+        return self.append("rz", (q,), (theta,))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """CNOT gate."""
+        return self.append("cx", (control, target))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        """CZ gate."""
+        return self.append("cz", (a, b))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP gate."""
+        return self.append("swap", (a, b))
+
+    def ecr(self, a: int, b: int) -> "QuantumCircuit":
+        """Echoed cross-resonance gate (IBM native)."""
+        return self.append("ecr", (a, b))
+
+    def barrier(self) -> "QuantumCircuit":
+        """Barrier (layering hint only; ignored by the simulators)."""
+        self.instructions.append(Instruction("barrier", tuple(range(self.num_qubits))))
+        return self
+
+    # -- parameters -------------------------------------------------------------
+
+    @property
+    def parameters(self) -> list[Parameter]:
+        """Free parameters in first-appearance order."""
+        seen: list[Parameter] = []
+        for inst in self.instructions:
+            for p in inst.params:
+                if isinstance(p, Parameter) and p not in seen:
+                    seen.append(p)
+        return seen
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of distinct free parameters."""
+        return len(self.parameters)
+
+    def bind(self, values: Mapping[Parameter, float] | Sequence[float] | np.ndarray) -> "QuantumCircuit":
+        """Return a copy with every free parameter replaced by a float.
+
+        ``values`` may be a mapping from :class:`Parameter` to float, or a
+        sequence ordered like :attr:`parameters`.
+        """
+        params = self.parameters
+        if isinstance(values, Mapping):
+            mapping = dict(values)
+        else:
+            arr = np.asarray(values, dtype=float).ravel()
+            if arr.size != len(params):
+                raise CircuitError(
+                    f"expected {len(params)} parameter values, got {arr.size}"
+                )
+            mapping = dict(zip(params, arr.tolist()))
+        missing = [p.name for p in params if p not in mapping]
+        if missing:
+            raise CircuitError(f"missing bindings for parameters: {missing}")
+        bound = QuantumCircuit(self.num_qubits, name=self.name)
+        for inst in self.instructions:
+            new_params = tuple(
+                float(mapping[p]) if isinstance(p, Parameter) else p for p in inst.params
+            )
+            bound.instructions.append(Instruction(inst.name, inst.qubits, new_params))
+        return bound
+
+    @property
+    def is_bound(self) -> bool:
+        """True when no instruction has a free parameter."""
+        return not any(inst.is_parameterised for inst in self.instructions)
+
+    # -- metrics ----------------------------------------------------------------
+
+    def count_ops(self) -> dict[str, int]:
+        """Gate-name histogram (barriers excluded)."""
+        counts: dict[str, int] = {}
+        for inst in self.instructions:
+            if inst.name == "barrier":
+                continue
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth via greedy per-qubit layering (barriers excluded)."""
+        levels = np.zeros(self.num_qubits, dtype=int)
+        for inst in self.instructions:
+            if inst.name == "barrier":
+                continue
+            qs = list(inst.qubits)
+            layer = int(levels[qs].max()) + 1
+            levels[qs] = layer
+        return int(levels.max(initial=0))
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit gates."""
+        return sum(1 for inst in self.instructions if inst.name != "barrier" and inst.num_qubits == 2)
+
+    # -- composition -------------------------------------------------------------
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit applying ``self`` then ``other`` (same width)."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError(
+                f"cannot compose circuits of width {self.num_qubits} and {other.num_qubits}"
+            )
+        combined = QuantumCircuit(self.num_qubits, name=self.name)
+        combined.instructions = list(self.instructions) + list(other.instructions)
+        return combined
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (instructions are immutable)."""
+        c = QuantumCircuit(self.num_qubits, name=self.name)
+        c.instructions = list(self.instructions)
+        return c
+
+    def __len__(self) -> int:
+        return len([i for i in self.instructions if i.name != "barrier"])
+
+    def __iter__(self) -> Iterable[Instruction]:
+        return iter(self.instructions)

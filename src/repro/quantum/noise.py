@@ -1,0 +1,91 @@
+"""Noise model for the utility-level hardware emulator.
+
+The paper argues (Sec. 5.2) that moderate quantum noise acts as a stochastic
+perturbation that can even help the optimisation escape local minima, and that
+the dominant hardware limitations are finite coherence (T1/T2) and gate
+errors.  The emulator models the effect of those error sources on *sampled
+bitstrings* — which is the only way noise enters a diagonal-Hamiltonian VQE —
+as two channels:
+
+* a per-qubit readout / accumulated-decoherence flip probability that grows
+  with circuit depth relative to the coherence time;
+* a depolarising contribution proportional to the number of two-qubit gates a
+  qubit participates in.
+
+Both are applied as independent bit flips on the sampled outcomes, which is
+the standard stochastic (Pauli-twirled) approximation for diagonal
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Bit-flip noise parameters of the emulated device.
+
+    Attributes
+    ----------
+    readout_error:
+        Baseline probability of misreading a qubit at measurement.
+    two_qubit_error:
+        Depolarising error per two-qubit (ECR) gate, converted to an effective
+        flip probability on each participating qubit.
+    t1_us, t2_us:
+        Coherence times in microseconds (IBM Eagle: T1 ≈ 60–120 µs,
+        T2 ≈ 40–100 µs).
+    gate_time_us:
+        Effective duration of one circuit layer in microseconds.
+    """
+
+    readout_error: float = 0.01
+    two_qubit_error: float = 0.008
+    t1_us: float = 90.0
+    t2_us: float = 70.0
+    gate_time_us: float = 0.2
+    decoherence_weight: float = 0.02
+
+    def flip_probability(self, depth: int, two_qubit_gates_per_qubit: float) -> float:
+        """Effective per-qubit flip probability for a circuit of given depth.
+
+        The decoherence contribution is deliberately damped
+        (``decoherence_weight``): on the real device dynamical decoupling and
+        virtual RZ gates keep idle errors far below the raw depth × T2 bound,
+        and the paper's premise is that the residual noise stays moderate.
+        """
+        duration = max(0, depth) * self.gate_time_us
+        decoherence = 1.0 - np.exp(-duration / max(self.t2_us, 1e-9))
+        p = (
+            self.readout_error
+            + 0.5 * self.two_qubit_error * max(0.0, two_qubit_gates_per_qubit)
+            + self.decoherence_weight * decoherence
+        )
+        return float(np.clip(p, 0.0, 0.45))
+
+    def apply(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator,
+        depth: int = 0,
+        two_qubit_gates_per_qubit: float = 0.0,
+    ) -> np.ndarray:
+        """Flip bits of a (shots, n) sample array according to the noise level."""
+        p = self.flip_probability(depth, two_qubit_gates_per_qubit)
+        if p <= 0.0:
+            return samples
+        flips = rng.random(samples.shape) < p
+        return np.where(flips, 1 - samples, samples).astype(np.uint8)
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """A noiseless model (all error rates zero)."""
+        return cls(readout_error=0.0, two_qubit_error=0.0, t1_us=1e9, t2_us=1e9)
+
+    @classmethod
+    def eagle_r3(cls) -> "NoiseModel":
+        """Parameters representative of the IBM Eagle r3 processor."""
+        return cls(readout_error=0.012, two_qubit_error=0.0085, t1_us=100.0, t2_us=80.0)

@@ -1,0 +1,47 @@
+"""JSON and filesystem helpers used by the dataset builder."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:  # noqa: D102 - stdlib override
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, (np.bool_,)):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def ensure_dir(path: str | Path) -> Path:
+    """Create ``path`` (and parents) if needed and return it as a :class:`Path`."""
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def write_json(path: str | Path, data: Any, indent: int = 2) -> Path:
+    """Serialise ``data`` to ``path`` as JSON, creating parent directories."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=indent, cls=_NumpyJSONEncoder, sort_keys=False)
+        fh.write("\n")
+    return p
+
+
+def read_json(path: str | Path) -> Any:
+    """Load JSON from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

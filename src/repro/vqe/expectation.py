@@ -1,0 +1,103 @@
+"""Sampled expectation values of diagonal Hamiltonians.
+
+The folding Hamiltonian is diagonal in the computational basis, so the
+expectation value ⟨ψ(θ)|H|ψ(θ)⟩ is estimated by sampling bitstrings from the
+ansatz and averaging their classical energies — exactly the estimator the
+paper's hybrid workflow uses on hardware.  Energies are cached per distinct
+configuration-register value, so repeated evaluation across optimiser
+iterations stays cheap even with large shot counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import VQEError
+from repro.lattice.hamiltonian import LatticeHamiltonian
+
+
+class DiagonalExpectation:
+    """Estimates ⟨H⟩ from sampled bitstrings for a diagonal folding Hamiltonian."""
+
+    def __init__(self, hamiltonian: LatticeHamiltonian):
+        self.hamiltonian = hamiltonian
+        self.encoding = hamiltonian.encoding
+        self._cache: dict[str, float] = {}
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct configuration bitstrings evaluated so far."""
+        return len(self._cache)
+
+    def energy_of_bits(self, bits: str) -> float:
+        """Energy of one bitstring (configuration register prefix), cached."""
+        key = bits[: self.encoding.configuration_qubits]
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.hamiltonian.energy_of_bits(key)
+            self._cache[key] = cached
+        return cached
+
+    def estimate_from_counts(self, counts: dict[str, int]) -> float:
+        """Shot-weighted mean energy of a counts dictionary."""
+        if not counts:
+            raise VQEError("cannot estimate an expectation value from empty counts")
+        total = 0
+        acc = 0.0
+        for bits, freq in counts.items():
+            if freq < 0:
+                raise VQEError(f"negative count for bitstring {bits!r}")
+            acc += self.energy_of_bits(bits) * freq
+            total += freq
+        if total == 0:
+            raise VQEError("counts dictionary has zero total shots")
+        return acc / total
+
+    def estimate_from_samples(self, samples: np.ndarray) -> float:
+        """Mean energy of a (shots, n) sample array."""
+        samples = np.asarray(samples, dtype=np.uint8)
+        if samples.ndim != 2 or samples.shape[0] == 0:
+            raise VQEError(f"samples must be a non-empty 2-D array, got shape {samples.shape}")
+        width = self.encoding.configuration_qubits
+        if samples.shape[1] < width:
+            raise VQEError(
+                f"samples have {samples.shape[1]} qubits, but the configuration "
+                f"register needs {width}"
+            )
+        config = samples[:, :width]
+        # Group identical configuration rows so each distinct conformation is
+        # decoded exactly once regardless of the shot count.
+        uniq, inverse, counts = np.unique(config, axis=0, return_inverse=True, return_counts=True)
+        energies = np.empty(uniq.shape[0])
+        for i, row in enumerate(uniq):
+            bits = "".join("1" if b else "0" for b in row)
+            energies[i] = self.energy_of_bits(bits)
+        return float(np.dot(energies, counts) / counts.sum())
+
+    def cvar_from_samples(self, samples: np.ndarray, alpha: float = 0.2) -> float:
+        """Conditional value-at-risk of the sampled energies (CVaR-VQE objective).
+
+        For a diagonal Hamiltonian the quantity of interest is the *best*
+        measurable bitstring, not the mean, so optimising the mean of the
+        lowest ``alpha`` fraction of sampled energies (Barkoutsos et al. 2020)
+        converges far faster at equal shot budget.  ``alpha = 1`` recovers the
+        plain expectation value.
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise VQEError(f"alpha must be in (0, 1], got {alpha}")
+        energies = self.per_shot_energies(samples)
+        energies.sort()
+        k = max(1, int(np.ceil(alpha * energies.size)))
+        return float(energies[:k].mean())
+
+    def per_shot_energies(self, samples: np.ndarray) -> np.ndarray:
+        """Energy of every individual shot (used for distribution diagnostics)."""
+        samples = np.asarray(samples, dtype=np.uint8)
+        width = self.encoding.configuration_qubits
+        config = samples[:, :width]
+        uniq, inverse = np.unique(config, axis=0, return_inverse=True)
+        energies = np.empty(uniq.shape[0])
+        for i, row in enumerate(uniq):
+            bits = "".join("1" if b else "0" for b in row)
+            energies[i] = self.energy_of_bits(bits)
+        return energies[inverse]

@@ -1,0 +1,64 @@
+"""Result container for one VQE folding run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lattice.decoder import DecodedConformation
+
+
+@dataclass
+class VQEResult:
+    """Everything produced by one two-stage VQE run on one fragment.
+
+    The fields mirror the quantum-prediction metadata stored per entry in the
+    dataset (Sec. 4.2): qubit count, circuit depth, the lowest / highest
+    energies observed during optimisation, and the decoded conformation.
+    """
+
+    sequence: str
+    num_qubits: int
+    configuration_qubits: int
+    circuit_depth: int
+    optimal_parameters: np.ndarray
+    optimal_energy: float
+    lowest_energy: float
+    highest_energy: float
+    iterations: int
+    energy_history: list[float] = field(default_factory=list)
+    final_counts: dict[str, int] = field(default_factory=dict)
+    best_conformation: DecodedConformation | None = None
+    final_shots: int = 0
+    backend_name: str = ""
+    ansatz_reps: int = 1
+
+    @property
+    def energy_range(self) -> float:
+        """Spread between the highest and lowest observed energies."""
+        return self.highest_energy - self.lowest_energy
+
+    def metadata(self) -> dict:
+        """JSON-serialisable quantum metadata (the dataset's per-entry JSON file)."""
+        return {
+            "sequence": self.sequence,
+            "qubits": int(self.num_qubits),
+            "configuration_qubits": int(self.configuration_qubits),
+            "circuit_depth": int(self.circuit_depth),
+            "lowest_energy": float(self.lowest_energy),
+            "highest_energy": float(self.highest_energy),
+            "energy_range": float(self.energy_range),
+            "optimal_energy": float(self.optimal_energy),
+            "iterations": int(self.iterations),
+            "final_shots": int(self.final_shots),
+            "backend": self.backend_name,
+            "ansatz_reps": int(self.ansatz_reps),
+            "best_bitstring": self.best_conformation.bitstring if self.best_conformation else None,
+            "best_conformation_energy": (
+                float(self.best_conformation.energy) if self.best_conformation else None
+            ),
+            "best_conformation_valid": (
+                bool(self.best_conformation.valid) if self.best_conformation else None
+            ),
+        }

@@ -1,0 +1,70 @@
+"""Unit tests for the amino-acid tables."""
+
+import pytest
+
+from repro.bio import amino_acids as aa
+from repro.exceptions import SequenceError
+
+
+def test_twenty_standard_amino_acids():
+    assert len(aa.AMINO_ACIDS) == 20
+    assert len(aa.AA_ORDER) == 20
+    assert sorted(aa.AA_ORDER) == list(aa.AA_ORDER)
+
+
+def test_one_three_roundtrip():
+    for code in aa.AA_ORDER:
+        assert aa.three_to_one(aa.one_to_three(code)) == code
+
+
+def test_three_letter_codes_unique():
+    threes = [a.three for a in aa.AMINO_ACIDS.values()]
+    assert len(set(threes)) == 20
+
+
+def test_lowercase_accepted():
+    assert aa.one_to_three("a") == "ALA"
+    assert aa.three_to_one("gly") == "G"
+
+
+def test_unknown_codes_raise():
+    with pytest.raises(SequenceError):
+        aa.get("B")
+    with pytest.raises(SequenceError):
+        aa.one_to_three("X")
+    with pytest.raises(SequenceError):
+        aa.three_to_one("XYZ")
+
+
+def test_hydrophobicity_signs():
+    # Kyte-Doolittle: Ile most hydrophobic, Arg most hydrophilic.
+    assert aa.hydrophobicity("I") == pytest.approx(4.5)
+    assert aa.hydrophobicity("R") == pytest.approx(-4.5)
+    assert aa.is_hydrophobic("L")
+    assert not aa.is_hydrophobic("K")
+
+
+def test_charges():
+    assert aa.residue_charge("D") == -1
+    assert aa.residue_charge("E") == -1
+    assert aa.residue_charge("K") == 1
+    assert aa.residue_charge("R") == 1
+    assert aa.residue_charge("A") == 0
+    assert sum(abs(aa.residue_charge(c)) for c in aa.AA_ORDER) == 4  # D, E, K, R
+
+
+def test_masses_and_volumes_positive():
+    for code in aa.AA_ORDER:
+        assert aa.residue_mass(code) > 50.0
+        assert aa.residue_volume(code) > 50.0
+
+
+def test_glycine_is_smallest():
+    assert min(aa.AA_ORDER, key=aa.residue_mass) == "G"
+    assert min(aa.AA_ORDER, key=aa.residue_volume) == "G"
+
+
+def test_is_valid_residue():
+    assert aa.is_valid_residue("a")
+    assert not aa.is_valid_residue("Z")
+    assert not aa.is_valid_residue("1")

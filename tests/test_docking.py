@@ -1,0 +1,180 @@
+"""Tests for the docking engine: ligands, pockets, scoring, search, multi-seed runs."""
+
+import numpy as np
+import pytest
+
+from repro.bio.reference import ReferenceStructureGenerator
+from repro.docking.ligand import Ligand, SyntheticLigandGenerator
+from repro.docking.pocket import find_pocket, find_pockets
+from repro.docking.scoring import ScoringWeights, VinaScoringFunction
+from repro.docking.search import MonteCarloPoseSearch
+from repro.docking.vina import DockingEngine, pose_rmsd_lower, pose_rmsd_upper
+from repro.exceptions import DockingError
+
+
+@pytest.fixture(scope="module")
+def reference_record():
+    return ReferenceStructureGenerator().generate("3eax", "RYRDV")
+
+
+@pytest.fixture(scope="module")
+def ligand(reference_record):
+    return SyntheticLigandGenerator().generate(reference_record)
+
+
+# -- ligand model -----------------------------------------------------------------
+
+
+def test_ligand_validation():
+    with pytest.raises(DockingError):
+        Ligand("bad", np.zeros((0, 3)), [], np.array([]), np.array([]), np.array([]), np.array([]))
+    with pytest.raises(DockingError):
+        Ligand(
+            "bad",
+            np.zeros((2, 3)),
+            ["C", "C"],
+            np.array([True]),  # wrong length
+            np.array([False, False]),
+            np.array([False, False]),
+            np.array([0.0, 0.0]),
+        )
+
+
+def test_synthetic_ligand_properties(reference_record, ligand):
+    assert 3 <= ligand.num_atoms <= 18
+    assert ligand.num_rotatable_bonds >= 0
+    # Deterministic: regenerating gives the same molecule.
+    again = SyntheticLigandGenerator().generate(reference_record)
+    assert np.allclose(again.coords, ligand.coords)
+    # The ligand does not clash with the reference receptor it was grown in.
+    receptor_coords = reference_record.structure.all_coords()
+    dist = np.linalg.norm(ligand.coords[:, None, :] - receptor_coords[None, :, :], axis=2)
+    assert dist.min() > 3.0
+
+
+def test_ligand_centered_uses_anchor(ligand):
+    centered = ligand.centered()
+    assert np.allclose(centered.coords, ligand.coords - ligand.anchor)
+    assert np.allclose(centered.anchor, 0.0)
+
+
+def test_ligand_size_scales_with_fragment_length(reference_record):
+    big_ref = ReferenceStructureGenerator().generate("4jpy", "DYLEAYGKGGVKAK")
+    small = SyntheticLigandGenerator().generate(reference_record)
+    big = SyntheticLigandGenerator().generate(big_ref)
+    assert big.num_atoms >= small.num_atoms
+
+
+# -- pocket detection ---------------------------------------------------------------
+
+
+def test_find_pocket_outside_receptor(reference_record):
+    pocket = find_pocket(reference_record.structure)
+    coords = reference_record.structure.all_coords()
+    min_dist = np.linalg.norm(coords - pocket.center, axis=1).min()
+    assert min_dist > 3.0  # no steric clash
+    assert pocket.contact_count > 0
+
+
+def test_find_pockets_distinct(reference_record):
+    sites = find_pockets(reference_record.structure, num_sites=3)
+    assert 1 <= len(sites) <= 3
+    for i in range(len(sites)):
+        for j in range(i + 1, len(sites)):
+            assert np.linalg.norm(sites[i].center - sites[j].center) >= 4.0
+
+
+# -- scoring ---------------------------------------------------------------------------
+
+
+def test_scoring_clash_is_penalised(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand)
+    good = scorer.score_coords(ligand.coords)
+    # Slam the ligand into the receptor centre: heavy steric repulsion.
+    clashed = ligand.coords - (ligand.coords.mean(axis=0) - reference_record.structure.centroid())
+    bad = scorer.score_coords(clashed)
+    assert good < bad
+
+
+def test_scoring_far_away_is_zero(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand)
+    far = ligand.coords + np.array([500.0, 0.0, 0.0])
+    assert scorer.score_coords(far) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_scoring_rotor_penalty_reduces_magnitude(reference_record, ligand):
+    rigid = Ligand(
+        ligand.name, ligand.coords, list(ligand.elements), ligand.hydrophobic,
+        ligand.donor, ligand.acceptor, ligand.charges, num_rotatable_bonds=0, anchor=ligand.anchor,
+    )
+    flexible = Ligand(
+        ligand.name, ligand.coords, list(ligand.elements), ligand.hydrophobic,
+        ligand.donor, ligand.acceptor, ligand.charges, num_rotatable_bonds=10, anchor=ligand.anchor,
+    )
+    s_rigid = VinaScoringFunction(reference_record.structure, rigid).score_coords(ligand.coords)
+    s_flex = VinaScoringFunction(reference_record.structure, flexible).score_coords(ligand.coords)
+    assert abs(s_flex) < abs(s_rigid)
+
+
+def test_scoring_shape_mismatch_raises(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand)
+    with pytest.raises(DockingError):
+        scorer.score_coords(np.zeros((2, 3)))
+
+
+# -- pose RMSD bounds ---------------------------------------------------------------------
+
+
+def test_pose_rmsd_bounds_ordering():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(12, 3))
+    b = a + rng.normal(scale=1.0, size=a.shape)
+    lb, ub = pose_rmsd_lower(a, b), pose_rmsd_upper(a, b)
+    assert 0.0 <= lb <= ub + 1e-9
+
+
+def test_pose_rmsd_identical_poses_zero():
+    a = np.random.default_rng(1).normal(size=(8, 3))
+    assert pose_rmsd_upper(a, a) == pytest.approx(0.0)
+    assert pose_rmsd_lower(a, a) == pytest.approx(0.0)
+
+
+# -- search and engine ----------------------------------------------------------------------
+
+
+def test_monte_carlo_search_returns_sorted_poses(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand.centered())
+    pocket = find_pocket(reference_record.structure)
+    search = MonteCarloPoseSearch(scorer, pocket.center)
+    poses = search.search(60, np.random.default_rng(0), num_poses=5)
+    scores = [p.score for p in poses]
+    assert scores == sorted(scores)
+    assert 1 <= len(poses) <= 5
+
+
+def test_docking_engine_end_to_end(reference_record, ligand):
+    engine = DockingEngine(num_seeds=2, num_poses=4, mc_steps=60)
+    result = engine.dock(reference_record.structure, ligand, receptor_id="3eax:REF")
+    assert len(result.runs) == 2
+    for run in result.runs:
+        assert len(run.poses) >= 1
+        assert run.poses[0].rmsd_lb == 0.0 and run.poses[0].rmsd_ub == 0.0
+        affinities = [p.affinity for p in run.poses]
+        assert affinities == sorted(affinities)
+    assert result.best_affinity <= result.mean_best_affinity
+    assert result.mean_best_affinity < 0.0  # the native-like complex binds favourably
+    payload = result.as_dict()
+    assert payload["num_runs"] == 2
+    assert len(payload["runs"][0]["poses"]) >= 1
+
+
+def test_docking_engine_deterministic(reference_record, ligand):
+    engine = DockingEngine(num_seeds=2, num_poses=3, mc_steps=40)
+    r1 = engine.dock(reference_record.structure, ligand, receptor_id="3eax:REF")
+    r2 = engine.dock(reference_record.structure, ligand, receptor_id="3eax:REF")
+    assert r1.mean_best_affinity == pytest.approx(r2.mean_best_affinity)
+
+
+def test_docking_engine_validation():
+    with pytest.raises(DockingError):
+        DockingEngine(num_seeds=0)

@@ -1,0 +1,217 @@
+"""Tests for the quantum substrate: gates, circuits, ansatz, simulators, noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import BackendError, CircuitError
+from repro.quantum.ansatz import EfficientSU2
+from repro.quantum.backend import AutoBackend, MPSBackend, StatevectorBackend, counts_from_samples
+from repro.quantum.circuit import Parameter, QuantumCircuit
+from repro.quantum.gates import GATES, gate_matrix, is_unitary, rx_matrix, ry_matrix, rz_matrix
+from repro.quantum.mps import MPSSimulator
+from repro.quantum.noise import NoiseModel
+from repro.quantum.statevector import StatevectorSimulator
+
+angles = st.floats(-np.pi, np.pi, allow_nan=False)
+
+
+# -- gates --------------------------------------------------------------------------
+
+
+def test_all_fixed_gates_unitary():
+    for name, matrix in GATES.items():
+        assert is_unitary(matrix), name
+
+
+@given(angles)
+@settings(max_examples=30, deadline=None)
+def test_rotation_gates_unitary(theta):
+    for fn in (rx_matrix, ry_matrix, rz_matrix):
+        assert is_unitary(fn(theta))
+
+
+def test_gate_matrix_parameter_validation():
+    with pytest.raises(CircuitError):
+        gate_matrix("ry")  # missing parameter
+    with pytest.raises(CircuitError):
+        gate_matrix("x", (0.3,))  # unexpected parameter
+    with pytest.raises(CircuitError):
+        gate_matrix("nosuchgate")
+
+
+# -- circuits ------------------------------------------------------------------------
+
+
+def test_circuit_depth_and_counts():
+    qc = QuantumCircuit(3)
+    qc.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+    assert qc.depth() == 4
+    assert qc.count_ops() == {"h": 1, "cx": 2, "rz": 1}
+    assert qc.two_qubit_gate_count() == 2
+
+
+def test_circuit_qubit_validation():
+    qc = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        qc.cx(0, 5)
+    with pytest.raises(CircuitError):
+        qc.cx(1, 1)
+
+
+def test_parameter_binding():
+    qc = QuantumCircuit(1)
+    theta = Parameter("theta")
+    qc.ry(theta, 0)
+    assert qc.num_parameters == 1
+    bound = qc.bind([0.5])
+    assert bound.is_bound
+    with pytest.raises(CircuitError):
+        qc.bind([])
+    # the original circuit is untouched
+    assert not qc.is_bound
+
+
+def test_compose_width_mismatch():
+    with pytest.raises(CircuitError):
+        QuantumCircuit(2).compose(QuantumCircuit(3))
+
+
+# -- ansatz --------------------------------------------------------------------------
+
+
+def test_efficient_su2_parameter_count():
+    for n, reps in [(4, 1), (6, 2), (10, 1)]:
+        ansatz = EfficientSU2(n, reps=reps)
+        assert ansatz.num_parameters == 2 * n * (reps + 1)
+
+
+def test_efficient_su2_linear_entanglement_is_nearest_neighbour():
+    ansatz = EfficientSU2(5, reps=2)
+    for inst in ansatz.circuit.instructions:
+        if inst.name == "cx":
+            assert abs(inst.qubits[0] - inst.qubits[1]) == 1
+
+
+def test_efficient_su2_zero_params_gives_all_zero_state():
+    ansatz = EfficientSU2(4, reps=1)
+    state = StatevectorSimulator().run(ansatz.bound(np.zeros(ansatz.num_parameters)))
+    probs = np.abs(state) ** 2
+    assert probs[0] == pytest.approx(1.0)
+
+
+# -- statevector simulator --------------------------------------------------------------
+
+
+def test_bell_state():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    probs = StatevectorSimulator().probabilities(qc)
+    assert probs[0b00] == pytest.approx(0.5)
+    assert probs[0b11] == pytest.approx(0.5)
+
+
+def test_statevector_rejects_unbound():
+    qc = QuantumCircuit(1)
+    qc.ry(Parameter("t"), 0)
+    with pytest.raises(BackendError):
+        StatevectorSimulator().run(qc)
+
+
+def test_statevector_qubit_limit():
+    with pytest.raises(BackendError):
+        StatevectorSimulator(max_qubits=3).run(QuantumCircuit(4, [ ]))
+
+
+# -- MPS simulator ------------------------------------------------------------------------
+
+
+@given(st.integers(2, 6), st.integers(0, 2), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_mps_matches_statevector_for_efficient_su2(n, reps, seed):
+    rng = np.random.default_rng(seed)
+    ansatz = EfficientSU2(n, reps=reps)
+    circuit = ansatz.bound(rng.normal(size=ansatz.num_parameters))
+    sv = StatevectorSimulator().run(circuit)
+    mps = MPSSimulator(max_bond_dimension=16).statevector(circuit)
+    fidelity = abs(np.vdot(sv, mps)) ** 2
+    assert fidelity == pytest.approx(1.0, abs=1e-8)
+
+
+def test_mps_norm_preserved():
+    ansatz = EfficientSU2(30, reps=1)
+    rng = np.random.default_rng(0)
+    state = MPSSimulator(max_bond_dimension=8).run(ansatz.bound(rng.normal(size=ansatz.num_parameters)))
+    assert state.norm_squared() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_mps_rejects_non_adjacent_two_qubit_gate():
+    qc = QuantumCircuit(3)
+    qc.h(0).cx(0, 2)
+    with pytest.raises(BackendError):
+        MPSSimulator().run(qc)
+
+
+def test_mps_sampling_distribution_on_product_state():
+    # RY(pi) flips qubit 0 deterministically; qubit 1 stays 0.
+    qc = QuantumCircuit(2)
+    qc.ry(np.pi, 0)
+    samples = MPSSimulator().sample(qc, 200, np.random.default_rng(0))
+    assert np.all(samples[:, 0] == 1)
+    assert np.all(samples[:, 1] == 0)
+
+
+def test_mps_scales_to_100_qubits():
+    ansatz = EfficientSU2(102, reps=1)
+    rng = np.random.default_rng(1)
+    samples = MPSSimulator(max_bond_dimension=8).sample(
+        ansatz.bound(rng.normal(scale=0.3, size=ansatz.num_parameters)), 32, rng
+    )
+    assert samples.shape == (32, 102)
+
+
+# -- backends -----------------------------------------------------------------------------
+
+
+def test_counts_from_samples():
+    samples = np.array([[0, 1], [0, 1], [1, 0]], dtype=np.uint8)
+    counts = counts_from_samples(samples)
+    assert counts == {"01": 2, "10": 1}
+
+
+def test_backends_agree_statistically():
+    ansatz = EfficientSU2(4, reps=1)
+    rng = np.random.default_rng(2)
+    circuit = ansatz.bound(rng.normal(size=ansatz.num_parameters))
+    sv_mean = StatevectorBackend().sample_array(circuit, 4000, np.random.default_rng(3)).mean(axis=0)
+    mps_mean = MPSBackend().sample_array(circuit, 4000, np.random.default_rng(4)).mean(axis=0)
+    assert np.allclose(sv_mean, mps_mean, atol=0.06)
+
+
+def test_auto_backend_selection():
+    auto = AutoBackend(max_statevector_qubits=6)
+    assert auto.chosen_backend(QuantumCircuit(4)) == "statevector"
+    assert auto.chosen_backend(QuantumCircuit(40)) == "mps"
+
+
+# -- noise --------------------------------------------------------------------------------
+
+
+def test_noise_model_flip_probability_bounds():
+    model = NoiseModel.eagle_r3()
+    p_small = model.flip_probability(53, 1.0)
+    p_large = model.flip_probability(413, 2.0)
+    assert 0.0 < p_small < p_large < 0.45
+
+
+def test_ideal_noise_model_is_identity():
+    samples = np.zeros((50, 8), dtype=np.uint8)
+    out = NoiseModel.ideal().apply(samples, np.random.default_rng(0), depth=400, two_qubit_gates_per_qubit=2)
+    assert np.array_equal(out, samples)
+
+
+def test_noise_flips_expected_fraction():
+    model = NoiseModel(readout_error=0.25, two_qubit_error=0.0, decoherence_weight=0.0)
+    samples = np.zeros((2000, 10), dtype=np.uint8)
+    out = model.apply(samples, np.random.default_rng(1))
+    assert out.mean() == pytest.approx(0.25, abs=0.03)
