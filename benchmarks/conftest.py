@@ -5,6 +5,14 @@ a single QDockBank built once per session over a stratified subset of the 55
 fragments (3 per length group by default) with the fast pipeline preset; set
 ``QDOCKBANK_BENCH_FULL=1`` in the environment to sweep all 55 fragments at the
 cost of a much longer run.
+
+The bank build is routed through the job engine.  Two environment knobs make
+repeat benchmark sessions cheap:
+
+* ``QDOCKBANK_BENCH_CACHE=<dir>`` — persistent fold-result cache; a warm
+  cache skips every VQE execution on later sessions.
+* ``QDOCKBANK_BENCH_PROCESSES=<n>`` — fan folds and entry assembly out over
+  ``n`` worker processes (results are bit-identical to a serial run).
 """
 
 from __future__ import annotations
@@ -33,7 +41,11 @@ def bench_config() -> PipelineConfig:
 @pytest.fixture(scope="session")
 def bench_bank(bench_config):
     """The QDockBank slice every table/figure benchmark reads from."""
-    builder = DatasetBuilder(config=bench_config, processes=0)
+    builder = DatasetBuilder(
+        config=bench_config,
+        processes=int(os.environ.get("QDOCKBANK_BENCH_PROCESSES", "0")),
+        cache_dir=os.environ.get("QDOCKBANK_BENCH_CACHE") or None,
+    )
     if os.environ.get("QDOCKBANK_BENCH_FULL") == "1":
         fragments = builder.select_fragments()
     else:

@@ -23,15 +23,23 @@ def main() -> None:
     parser.add_argument("--groups", default="S,M,L", help="comma-separated length groups")
     parser.add_argument("--per-group", type=int, default=2, help="fragments per group")
     parser.add_argument("--processes", type=int, default=0, help="worker processes (0 = serial)")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent fold-result cache; re-runs skip already-folded fragments",
+    )
     args = parser.parse_args()
 
-    builder = DatasetBuilder(config=PipelineConfig.fast(), processes=args.processes)
+    builder = DatasetBuilder(
+        config=PipelineConfig.fast(), processes=args.processes, cache_dir=args.cache_dir
+    )
     fragments = builder.select_fragments(groups=args.groups.split(","), limit_per_group=args.per_group)
     print(f"Building {len(fragments)} fragments: {[f.pdb_id for f in fragments]}")
 
     bank = builder.build(fragments)
     bank.save(args.output)
     print(f"Dataset written to {args.output}/")
+    print(f"Engine stats: {builder.engine.stats()}")
 
     comparisons = {m: compare_methods(bank, m) for m in ("AF2", "AF3")}
     print("\nWin rates on this slice (measured vs paper):")

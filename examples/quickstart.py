@@ -1,17 +1,34 @@
 """Quickstart: fold one pocket fragment with the quantum pipeline and evaluate it.
 
 Run with:  python examples/quickstart.py
+
+All fold work — this single fragment as much as the 55-fragment dataset build —
+is routed through the job engine (``repro.engine``), which resolves the
+execution backend by name from ``PipelineConfig.backend`` (``"statevector"``,
+``"mps"``, ``"auto"`` or ``"eagle"``), fans batches out over worker processes,
+and reuses previously folded fragments from a persistent on-disk cache::
+
+    from repro.engine import Engine
+
+    engine = Engine(config=PipelineConfig.fast(), cache="qdockbank_cache")
+    specs = [engine.spec("2bok", "EDACQGDSGG"), engine.spec("3eax", "RYRDV")]
+    results = engine.run(specs, processes=4)   # bit-identical to processes=0
+    print(engine.stats())                      # executed vs cache-hit counts
+
+A second ``engine.run`` over the same specs (or a later process pointed at the
+same cache directory) performs zero VQE executions.
 """
 
 from __future__ import annotations
 
-from repro import PipelineConfig, QuantumFoldingPredictor
+from repro import PipelineConfig
 from repro.bio.reference import ReferenceStructureGenerator
 from repro.bio.rmsd import ca_rmsd
 from repro.bio.pdb import structure_to_pdb_string
 from repro.docking.ligand import SyntheticLigandGenerator
 from repro.docking.vina import DockingEngine
 from repro.dataset.fragments import fragment_by_pdb_id
+from repro.engine import Engine
 
 
 def main() -> None:
@@ -19,8 +36,8 @@ def main() -> None:
     config = PipelineConfig.fast()
 
     print(f"Folding {fragment.pdb_id} ({fragment.sequence}, residues {fragment.residue_range}) ...")
-    predictor = QuantumFoldingPredictor(config=config)
-    prediction = predictor.predict(fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start)
+    engine = Engine(config=config)
+    prediction = engine.fold(fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start)
 
     meta = prediction.metadata
     print(f"  qubits: {meta['qubits']}  circuit depth: {meta['circuit_depth']}")

@@ -23,8 +23,14 @@ from repro.config import PipelineConfig, DEFAULT_CONFIG
 from repro.exceptions import ReproError
 from repro.bio.sequence import ProteinSequence
 from repro.bio.reference import ReferenceStructureGenerator
-from repro.folding.predictor import QuantumFoldingPredictor, ClassicalFoldingPredictor, FoldingPrediction
+from repro.folding.predictor import (
+    QuantumFoldingPredictor,
+    ClassicalFoldingPredictor,
+    FoldingPrediction,
+    fold_fragment,
+)
 from repro.folding.baselines import AF2LikePredictor, AF3LikePredictor
+from repro.engine import Engine, JobResult, JobSpec, ResultCache, make_backend
 from repro.docking.vina import DockingEngine
 from repro.docking.ligand import SyntheticLigandGenerator
 from repro.dataset.builder import DatasetBuilder
@@ -41,6 +47,12 @@ __all__ = [
     "QuantumFoldingPredictor",
     "ClassicalFoldingPredictor",
     "FoldingPrediction",
+    "fold_fragment",
+    "Engine",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "make_backend",
     "AF2LikePredictor",
     "AF3LikePredictor",
     "DockingEngine",

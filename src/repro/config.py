@@ -49,6 +49,15 @@ class PipelineConfig:
         Whether the hardware emulator injects readout / depolarising noise.
     seed:
         Master seed; every task derives its own deterministic child seed.
+    backend:
+        Name of the execution backend, resolved through the engine's backend
+        registry (``"statevector"``, ``"mps"``, ``"auto"`` or ``"eagle"``).
+    engine_workers:
+        Default worker-process count for the engine's job fan-out
+        (``0``/``1`` runs serially; results are identical either way).
+    cache_dir:
+        Directory of the engine's persistent result cache; ``None`` disables
+        caching.
     """
 
     vqe_iterations: int = 60
@@ -63,6 +72,9 @@ class PipelineConfig:
     docking_mc_steps: int = 120
     noise_enabled: bool = True
     seed: int = 2025
+    backend: str = "auto"
+    engine_workers: int = 0
+    cache_dir: str | None = None
     #: CVaR fraction used by the stage-1 objective (1.0 = plain expectation).
     cvar_alpha: float = 0.2
     #: Cap applied to the width-scaled stage-2 shot count.

@@ -1,12 +1,13 @@
 """Batch construction of dataset entries (the Sec. 5.2 architecture, classically).
 
-Every fragment is an independent work item: fold with the quantum pipeline,
-fold with both baselines, generate the reference and the native-like ligand,
-dock all structures, and assemble a :class:`~repro.dataset.entry.QDockBankEntry`.
-:class:`BatchProcessor` runs those work items either serially or on a process
-pool via :class:`~repro.utils.parallel.ParallelExecutor`; results are
-deterministic either way because every stochastic component derives its seed
-from the master seed plus the fragment identity.
+Every fragment is an independent work item.  The expensive quantum folds are
+streamed through the job engine first (:class:`~repro.engine.core.Engine` —
+parallel fan-out, in-batch dedup, persistent result cache); the remaining
+per-fragment work (baseline folds, reference and ligand generation, docking,
+entry assembly) then runs either serially or on a process pool via
+:class:`~repro.utils.parallel.ParallelExecutor`.  Results are deterministic
+for any worker count and any cache state because every stochastic component
+derives its seed from the master seed plus the fragment identity.
 """
 
 from __future__ import annotations
@@ -20,19 +21,26 @@ from repro.dataset.entry import MethodEvaluation, QDockBankEntry
 from repro.dataset.fragments import Fragment
 from repro.docking.ligand import SyntheticLigandGenerator
 from repro.docking.vina import DockingEngine, DockingResult
+from repro.engine.core import Engine
 from repro.folding.baselines import AF2LikePredictor, AF3LikePredictor
-from repro.folding.predictor import FoldingPrediction, QuantumFoldingPredictor
+from repro.folding.predictor import FoldingPrediction, fold_fragment
 from repro.utils.parallel import ParallelExecutor
 
 
 @dataclass(frozen=True)
 class FragmentTask:
-    """A picklable unit of work: one fragment plus the pipeline configuration."""
+    """A picklable unit of work: one fragment plus the pipeline configuration.
+
+    ``quantum`` carries the already-folded quantum prediction when the fold
+    phase ran through the engine; ``None`` makes :func:`build_entry` fold
+    inline (the pre-engine behaviour, kept for direct callers).
+    """
 
     fragment: Fragment
     config: PipelineConfig
     keep_structures: bool = True
     include_baselines: bool = True
+    quantum: FoldingPrediction | None = None
 
 
 def _evaluate_method(
@@ -72,11 +80,16 @@ def build_entry(task: FragmentTask) -> QDockBankEntry:
         master_seed=config.seed,
     )
 
-    # Quantum prediction (the dataset's primary content).
-    quantum = QuantumFoldingPredictor(config=config)
-    qdock_prediction = quantum.predict(
-        fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
-    )
+    # Quantum prediction (the dataset's primary content) — precomputed by the
+    # engine's fold phase when available.
+    qdock_prediction = task.quantum
+    if qdock_prediction is None:
+        qdock_prediction, _ = fold_fragment(
+            fragment.pdb_id,
+            fragment.sequence,
+            config=config,
+            start_seq_id=fragment.residue_start,
+        )
     qdock_docking = docking_engine.dock(
         qdock_prediction.structure, ligand, receptor_id=f"{fragment.pdb_id}:QDock"
     )
@@ -112,9 +125,15 @@ def build_entry(task: FragmentTask) -> QDockBankEntry:
 class BatchProcessor:
     """Builds entries for many fragments, optionally on a process pool."""
 
-    def __init__(self, config: PipelineConfig | None = None, executor: ParallelExecutor | None = None):
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        executor: ParallelExecutor | None = None,
+        engine: Engine | None = None,
+    ):
         self.config = config or PipelineConfig()
         self.executor = executor or ParallelExecutor(processes=0)
+        self.engine = engine or Engine(config=self.config)
 
     def build_entries(
         self,
@@ -122,14 +141,24 @@ class BatchProcessor:
         keep_structures: bool = True,
         include_baselines: bool = True,
     ) -> list[QDockBankEntry]:
-        """Build entries for ``fragments`` (order preserved)."""
+        """Build entries for ``fragments`` (order preserved).
+
+        Phase 1 streams every quantum fold through the engine (parallel,
+        cached); phase 2 runs the remaining per-fragment work on the executor.
+        """
+        specs = [
+            self.engine.spec(f.pdb_id, f.sequence, start_seq_id=f.residue_start)
+            for f in fragments
+        ]
+        folds = self.engine.run(specs, processes=self.executor.processes)
         tasks = [
             FragmentTask(
                 fragment=f,
                 config=self.config,
                 keep_structures=keep_structures,
                 include_baselines=include_baselines,
+                quantum=fold.prediction,
             )
-            for f in fragments
+            for f, fold in zip(fragments, folds)
         ]
         return self.executor.map(build_entry, tasks)

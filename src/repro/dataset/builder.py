@@ -8,6 +8,7 @@ from repro.config import PipelineConfig
 from repro.dataset.bank import QDockBank
 from repro.dataset.batch import BatchProcessor
 from repro.dataset.fragments import PAPER_FRAGMENTS, Fragment, fragments_by_group
+from repro.engine.core import Engine
 from repro.exceptions import DatasetError
 from repro.utils.logging import get_logger
 from repro.utils.parallel import ParallelExecutor
@@ -24,12 +25,27 @@ class DatasetBuilder:
         Pipeline configuration (use :meth:`PipelineConfig.paper` for
         full-fidelity runs, :meth:`PipelineConfig.fast` for CI-scale runs).
     processes:
-        Worker processes for the batch stage; ``0``/``1`` runs serially.
+        Worker processes for the fold fan-out and batch stage; ``0``/``1``
+        runs serially (results are bit-identical either way).
+    cache_dir:
+        Directory of the engine's persistent fold cache; repeated builds over
+        the same fragments and configuration skip the VQE entirely.  ``None``
+        falls back to ``config.cache_dir``.
     """
 
-    def __init__(self, config: PipelineConfig | None = None, processes: int = 0):
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        processes: int = 0,
+        cache_dir: str | Path | None = None,
+    ):
         self.config = config or PipelineConfig()
-        self.processor = BatchProcessor(config=self.config, executor=ParallelExecutor(processes=processes))
+        self.engine = Engine(config=self.config, cache=cache_dir, processes=processes)
+        self.processor = BatchProcessor(
+            config=self.config,
+            executor=ParallelExecutor(processes=processes),
+            engine=self.engine,
+        )
 
     # -- fragment selection ----------------------------------------------------------
 
@@ -81,7 +97,7 @@ class DatasetBuilder:
             fragments, keep_structures=keep_structures, include_baselines=include_baselines
         )
         bank = QDockBank(entries=entries)
-        logger.info("finished %d entries", len(bank))
+        logger.info("finished %d entries; engine stats: %s", len(bank), self.engine.stats())
         return bank
 
     def build_and_save(self, output_dir: str | Path, **kwargs) -> QDockBank:

@@ -1,0 +1,32 @@
+"""Job-oriented execution engine (backend registry, fan-out, result cache).
+
+The single entry point for fold work::
+
+    from repro.engine import Engine, JobSpec
+
+    engine = Engine(config=PipelineConfig.fast(), cache="qdockbank_cache")
+    results = engine.run([engine.spec("2bok", "EDACQGDSGG")], processes=4)
+
+See :mod:`repro.engine.core` for the execution model, :mod:`repro.engine.jobs`
+for content hashing, :mod:`repro.engine.registry` for named backends and
+:mod:`repro.engine.cache` for the persistent store.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.jobs import ENGINE_SCHEMA_VERSION, JobResult, JobSpec, config_fingerprint
+from repro.engine.registry import backend_names, make_backend, register_backend
+from repro.engine.core import Engine, execute_job
+
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "CacheStats",
+    "Engine",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "backend_names",
+    "config_fingerprint",
+    "execute_job",
+    "make_backend",
+    "register_backend",
+]

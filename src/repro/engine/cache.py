@@ -1,0 +1,93 @@
+"""Content-addressed on-disk result cache for the execution engine.
+
+Each cached result lives in its own JSON file named by the job's content hash
+(sharded by the first two hex characters to keep directories small), so the
+cache is safe to share between concurrent builder processes: writes of the
+same key produce identical bytes and a torn read is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.utils.io import read_json, write_json
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / write counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view for logs and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Content-addressed JSON store keyed by job hash."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the payload stored under ``key``, or ``None`` on a miss.
+
+        Unreadable or mismatched files (torn writes, stale schema) count as
+        misses rather than errors so a damaged cache degrades to recompute.
+        """
+        path = self._path(key)
+        try:
+            payload = read_json(path)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("spec_hash") != key:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``key``."""
+        write_json(self._path(key), payload)
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number of files removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,216 @@
+"""The job engine: scatter fold jobs, gather results, reuse cached work.
+
+This is the Sec. 5.2 batch architecture as a subsystem: every fold — a single
+quickstart fragment, the 55-fragment dataset build, a benchmark sweep — is a
+:class:`~repro.engine.jobs.JobSpec` streamed through one :class:`Engine`.
+The engine
+
+* resolves the execution backend by name through the registry,
+* deduplicates identical jobs within a batch,
+* serves previously computed jobs from the persistent result cache,
+* fans the remaining jobs out over a process pool (``utils/parallel``), and
+* gathers results in submission order.
+
+Determinism: every job derives its VQE seed from the master seed plus its own
+identity (``utils/rng.child_seed``), never from worker assignment, so results
+are bit-identical for any worker count and any cache state.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.config import PipelineConfig
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import JobResult, JobSpec
+from repro.engine.registry import registry_snapshot, restore_registry
+from repro.folding.predictor import FoldingPrediction, fold_fragment
+from repro.lattice.hamiltonian import HamiltonianWeights
+from repro.utils.logging import get_logger
+from repro.utils.parallel import parallel_map
+
+logger = get_logger(__name__)
+
+
+def _picklable_registry() -> dict:
+    """The registered backend builders that can ship to worker processes.
+
+    Unpicklable builders (lambdas, closures) are dropped with a warning rather
+    than failing the whole fan-out: they only matter if a job actually selects
+    them, in which case the worker raises a clear unknown-backend error.
+    """
+    builders = {}
+    for name, builder in registry_snapshot().items():
+        try:
+            pickle.dumps(builder)
+        except Exception:
+            logger.warning(
+                "backend %r has an unpicklable builder; it will be unavailable "
+                "in engine worker processes", name,
+            )
+            continue
+        builders[name] = builder
+    return builders
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one fold job to completion (module-level so it pickles to workers)."""
+    prediction, coords = fold_fragment(
+        spec.pdb_id,
+        spec.sequence,
+        config=spec.config,
+        weights=spec.weights,
+        register=spec.register,
+        start_seq_id=spec.start_seq_id,
+    )
+    return JobResult(
+        spec_hash=spec.content_hash(),
+        pdb_id=prediction.pdb_id,
+        sequence=prediction.sequence,
+        prediction=prediction,
+        conformation_coords=np.asarray(coords, dtype=float),
+        start_seq_id=spec.start_seq_id,
+    )
+
+
+class Engine:
+    """Single entry point for fold job execution.
+
+    Parameters
+    ----------
+    config:
+        Default pipeline configuration for jobs built by the convenience
+        helpers; also supplies ``engine_workers`` and ``cache_dir`` defaults.
+    cache:
+        A :class:`ResultCache`, a directory path, or ``None``.  ``None`` falls
+        back to ``config.cache_dir`` (and disables caching when that is also
+        ``None``).
+    processes:
+        Default worker-process count for :meth:`run`; ``None`` uses
+        ``config.engine_workers``.  ``0``/``1`` executes serially.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        cache: ResultCache | str | Path | None = None,
+        processes: int | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        if cache is None and self.config.cache_dir:
+            cache = self.config.cache_dir
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.processes = self.config.engine_workers if processes is None else int(processes)
+        self.executed_jobs = 0
+        self.completed_jobs = 0
+
+    # -- job construction -----------------------------------------------------------
+
+    def spec(
+        self,
+        pdb_id: str,
+        sequence: str,
+        weights: HamiltonianWeights | None = None,
+        register: str = "configuration",
+        start_seq_id: int = 1,
+    ) -> JobSpec:
+        """Build a :class:`JobSpec` against this engine's configuration."""
+        return JobSpec(
+            pdb_id=pdb_id,
+            sequence=str(sequence),
+            config=self.config,
+            weights=weights,
+            register=register,
+            start_seq_id=start_seq_id,
+        )
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec], processes: int | None = None) -> list[JobResult]:
+        """Execute ``jobs`` and return their results in submission order.
+
+        Cache hits and in-batch duplicates are filled without execution; the
+        remaining jobs are scattered over ``processes`` workers (``None`` uses
+        the engine default) and gathered back in order.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        processes = self.processes if processes is None else int(processes)
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, JobSpec, str]] = []
+        first_pending: dict[str, int] = {}
+        duplicates: list[tuple[int, str]] = []
+
+        for i, job in enumerate(jobs):
+            key = job.content_hash()
+            if key in first_pending:
+                duplicates.append((i, key))
+                continue
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                results[i] = JobResult.from_payload(payload)
+            else:
+                first_pending[key] = i
+                pending.append((i, job, key))
+
+        if pending:
+            logger.info(
+                "engine: executing %d/%d jobs (%d cached, %d duplicate) on %d processes",
+                len(pending), len(jobs), len(jobs) - len(pending) - len(duplicates),
+                len(duplicates), max(1, processes),
+            )
+            # Replicate runtime backend registrations into the workers: under
+            # spawn/forkserver start methods a fresh interpreter only sees the
+            # built-in backends.
+            fresh = parallel_map(
+                execute_job,
+                [job for _, job, _ in pending],
+                processes=processes,
+                initializer=restore_registry,
+                initargs=(_picklable_registry(),) if processes > 1 else (),
+            )
+            for (i, _, key), result in zip(pending, fresh):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(key, result.to_payload())
+            self.executed_jobs += len(pending)
+
+        # In-batch duplicates of an executed job share its result object.
+        # (Duplicates of a cache hit never land here: their key is absent from
+        # ``first_pending``, so the second lookup simply hits the cache again.)
+        for i, key in duplicates:
+            results[i] = results[first_pending[key]].shallow_copy()
+
+        self.completed_jobs += len(jobs)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def fold(
+        self,
+        pdb_id: str,
+        sequence: str,
+        start_seq_id: int = 1,
+        weights: HamiltonianWeights | None = None,
+        register: str = "configuration",
+    ) -> FoldingPrediction:
+        """Convenience: run a single fold job and return its prediction."""
+        spec = self.spec(pdb_id, sequence, weights=weights, register=register, start_seq_id=start_seq_id)
+        return self.run([spec])[0].prediction
+
+    # -- reporting -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Execution and cache counters (the cache-hit proof for tests/logs)."""
+        return {
+            "completed_jobs": self.completed_jobs,
+            "executed_jobs": self.executed_jobs,
+            "cache": self.cache.stats.as_dict() if self.cache is not None else None,
+        }

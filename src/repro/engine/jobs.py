@@ -1,0 +1,182 @@
+"""Job specifications and results for the execution engine.
+
+A :class:`JobSpec` is one fold work item — fragment identity plus every knob
+that influences the outcome — and hashes to a deterministic content address.
+Two specs with the same hash are guaranteed to produce bit-identical results,
+which is what lets the engine deduplicate work within a batch and reuse
+results across runs through the persistent cache.
+
+The hash deliberately covers only the *fold-relevant* part of the
+configuration: docking knobs and engine plumbing (worker count, cache
+location) do not change what a fold produces, so varying them must not
+invalidate cached results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.config import PipelineConfig
+from repro.exceptions import EngineError
+from repro.folding.predictor import FoldingPrediction
+from repro.lattice.hamiltonian import HamiltonianWeights
+
+#: Schema version of the content hash / cache payload.  Bump whenever the fold
+#: pipeline changes in a way that invalidates previously cached results.
+ENGINE_SCHEMA_VERSION = "fold/v1"
+
+#: The configuration fields that influence a fold result (and therefore the
+#: job hash).  Everything else — docking knobs, worker counts, cache paths —
+#: is orchestration detail.
+_FOLD_CONFIG_FIELDS: tuple[str, ...] = (
+    "vqe_iterations",
+    "optimisation_shots",
+    "final_shots",
+    "ansatz_reps",
+    "max_statevector_qubits",
+    "mps_bond_dimension",
+    "ancilla_margin",
+    "noise_enabled",
+    "seed",
+    "cvar_alpha",
+    "max_final_shots",
+    "backend",
+)
+
+
+def config_fingerprint(config: PipelineConfig) -> str:
+    """Canonical JSON string of the fold-relevant configuration fields.
+
+    ``config.extra`` participates in the hash, so its values must be
+    JSON-serialisable — anything hashed through ``repr`` (object identities,
+    memory addresses) would silently change between processes and defeat the
+    persistent cache.
+    """
+    payload: dict[str, Any] = {name: getattr(config, name) for name in _FOLD_CONFIG_FIELDS}
+    if config.extra:
+        payload["extra"] = config.extra
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise EngineError(
+            "config.extra values must be JSON-serialisable to content-hash a job "
+            f"(got {config.extra!r})"
+        ) from exc
+
+
+def _weights_key(weights: HamiltonianWeights | None) -> str:
+    if weights is None:
+        return "default"
+    return f"{weights.chirality!r}/{weights.geometric!r}/{weights.clash!r}/{weights.interaction!r}"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fold job: a fragment plus everything that determines its result."""
+
+    pdb_id: str
+    sequence: str
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    weights: HamiltonianWeights | None = None
+    register: str = "configuration"
+    start_seq_id: int = 1
+
+    def content_hash(self) -> str:
+        """Deterministic SHA-256 content address of this job.
+
+        Covers the fragment identity (the PDB ID seeds the VQE child RNG, so
+        it is part of the result), the sequence, the Hamiltonian weights, the
+        simulated register, the residue numbering and the fold-relevant
+        configuration including the backend name.
+        """
+        parts = (
+            ENGINE_SCHEMA_VERSION,
+            self.pdb_id.lower(),
+            str(self.sequence),
+            self.register,
+            str(int(self.start_seq_id)),
+            _weights_key(self.weights),
+            config_fingerprint(self.config),
+        )
+        return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobResult:
+    """The outcome of one fold job.
+
+    ``conformation_coords`` holds the raw lattice Cα trace decoded from the
+    VQE's best conformation — the minimal datum from which the full structure
+    is deterministically re-derived, which is what the persistent cache
+    stores instead of serialising whole structures.
+    """
+
+    spec_hash: str
+    pdb_id: str
+    sequence: str
+    prediction: FoldingPrediction
+    conformation_coords: np.ndarray
+    start_seq_id: int = 1
+    from_cache: bool = False
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable form of this result (the cache file contents)."""
+        return {
+            "schema": ENGINE_SCHEMA_VERSION,
+            "spec_hash": self.spec_hash,
+            "pdb_id": self.pdb_id,
+            "sequence": self.sequence,
+            "start_seq_id": int(self.start_seq_id),
+            "method": self.prediction.method,
+            "structure_id": self.prediction.structure.structure_id,
+            "metadata": self.prediction.metadata,
+            "conformation_coords": np.asarray(self.conformation_coords, dtype=float).tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "JobResult":
+        """Rebuild a result from a cache payload.
+
+        The structure is re-derived by running the (cheap, deterministic)
+        reconstruction over the stored lattice coordinates, so a cache hit is
+        bit-identical to a fresh fold without ever re-running the VQE.
+        """
+        from repro.bio.sequence import ProteinSequence
+        from repro.lattice.reconstruction import reconstruct_structure
+
+        coords = np.asarray(payload["conformation_coords"], dtype=float)
+        structure = reconstruct_structure(
+            ProteinSequence(payload["sequence"]),
+            coords,
+            structure_id=payload["structure_id"],
+            start_seq_id=int(payload["start_seq_id"]),
+            center=True,
+        )
+        prediction = FoldingPrediction(
+            pdb_id=payload["pdb_id"],
+            sequence=payload["sequence"],
+            method=payload["method"],
+            structure=structure,
+            metadata=dict(payload["metadata"]),
+        )
+        return cls(
+            spec_hash=payload["spec_hash"],
+            pdb_id=payload["pdb_id"],
+            sequence=payload["sequence"],
+            prediction=prediction,
+            conformation_coords=coords,
+            start_seq_id=int(payload["start_seq_id"]),
+            from_cache=True,
+        )
+
+    def shallow_copy(self, from_cache: bool | None = None) -> "JobResult":
+        """A copy sharing the prediction object (used for in-batch duplicates)."""
+        out = replace(self)
+        if from_cache is not None:
+            out.from_cache = from_cache
+        return out

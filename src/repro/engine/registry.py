@@ -1,0 +1,112 @@
+"""Backend registry: execution backends constructed by name from the config.
+
+Call sites used to hand-wire simulator objects (``AutoBackend(...)``,
+``EagleEmulatorBackend(...)``) wherever a circuit needed sampling.  The
+registry replaces that with a single factory, ``make_backend(name, config)``,
+so the backend is a *configuration choice* (``PipelineConfig.backend``) rather
+than code: the same pipeline runs on the exact statevector simulator, the MPS
+engine, the width-dispatching auto backend or the noisy Eagle emulator by
+changing one string.
+
+Third-party backends can be added at runtime with :func:`register_backend`;
+builders receive the :class:`~repro.config.PipelineConfig` and pull whatever
+knobs they need from it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import PipelineConfig
+from repro.exceptions import BackendError
+from repro.quantum.backend import AutoBackend, Backend, MPSBackend, StatevectorBackend
+
+BackendBuilder = Callable[[PipelineConfig], Backend]
+
+_REGISTRY: dict[str, BackendBuilder] = {}
+
+
+def register_backend(name: str, builder: BackendBuilder, overwrite: bool = False) -> None:
+    """Register ``builder`` under ``name`` (lower-cased).
+
+    Raises :class:`BackendError` if the name is already taken, unless
+    ``overwrite`` is set (useful for tests that stub a backend out).
+
+    The engine replicates the registry into its worker processes (spawn-based
+    start methods do not inherit parent module state), so builders must be
+    picklable — define them at module level, not as lambdas or closures — for
+    parallel runs to see them.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise BackendError("backend name must be a non-empty string")
+    if key in _REGISTRY and not overwrite:
+        raise BackendError(f"backend {key!r} is already registered")
+    _REGISTRY[key] = builder
+
+
+def backend_names() -> tuple[str, ...]:
+    """The names currently registered, sorted alphabetically."""
+    return tuple(sorted(_REGISTRY))
+
+
+def registry_snapshot() -> dict[str, BackendBuilder]:
+    """A copy of the current registry (shipped to engine worker processes)."""
+    return dict(_REGISTRY)
+
+
+def restore_registry(builders: dict[str, BackendBuilder]) -> None:
+    """Merge ``builders`` into the registry (worker-process initializer)."""
+    _REGISTRY.update(builders)
+
+
+def make_backend(name: str | None = None, config: PipelineConfig | None = None) -> Backend:
+    """Build the backend registered under ``name``, configured from ``config``.
+
+    ``name`` of ``None`` uses ``config.backend`` (the pipeline's configured
+    default); ``config`` of ``None`` uses the default :class:`PipelineConfig`.
+    """
+    config = config or PipelineConfig()
+    key = (name or config.backend).strip().lower()
+    builder = _REGISTRY.get(key)
+    if builder is None:
+        raise BackendError(
+            f"unknown backend {key!r}; registered backends: {', '.join(backend_names())}"
+        )
+    return builder(config)
+
+
+def _build_statevector(config: PipelineConfig) -> Backend:
+    # An explicit statevector choice should not be capped below the simulator's
+    # own default limit just because the auto-dispatch threshold is small.
+    return StatevectorBackend(max_qubits=max(24, config.max_statevector_qubits))
+
+
+def _build_mps(config: PipelineConfig) -> Backend:
+    return MPSBackend(max_bond_dimension=config.mps_bond_dimension)
+
+
+def _build_auto(config: PipelineConfig) -> Backend:
+    return AutoBackend(
+        max_statevector_qubits=config.max_statevector_qubits,
+        max_bond_dimension=config.mps_bond_dimension,
+    )
+
+
+def _build_eagle(config: PipelineConfig) -> Backend:
+    # Imported lazily: the hardware layer pulls in the full topology /
+    # transpiler stack, which most simulator-only runs never need.
+    from repro.hardware.eagle import EagleEmulatorBackend
+
+    return EagleEmulatorBackend(
+        ancilla_margin=config.ancilla_margin,
+        max_bond_dimension=config.mps_bond_dimension,
+        noise_enabled=config.noise_enabled,
+    )
+
+
+register_backend("statevector", _build_statevector)
+register_backend("mps", _build_mps)
+register_backend("auto", _build_auto)
+register_backend("eagle", _build_eagle)
+register_backend("eagle_emulator", _build_eagle)

@@ -56,6 +56,10 @@ class DockingError(ReproError):
     """Docking engine failure (no poses, bad ligand, ...)."""
 
 
+class EngineError(ReproError):
+    """Job engine failure (unhashable job, bad specification, ...)."""
+
+
 class DatasetError(ReproError):
     """Dataset construction / loading failure."""
 

@@ -44,7 +44,10 @@ def reconstruct_structure(
         Generator for the jitter; required when ``jitter > 0``.
     """
     seq = sequence if isinstance(sequence, ProteinSequence) else ProteinSequence(str(sequence))
-    ca = np.asarray(ca_coords, dtype=float)
+    # Copy: atoms keep views of the rows handed to them, and centring
+    # translates atoms in place — without the copy the caller's coordinate
+    # array (e.g. a DecodedConformation's Cα trace) would be mutated.
+    ca = np.array(ca_coords, dtype=float)
     if ca.shape != (len(seq), 3):
         raise StructureError(
             f"expected ({len(seq)}, 3) CA coordinates, got {ca.shape}"

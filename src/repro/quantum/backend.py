@@ -37,11 +37,23 @@ def samples_to_bitstrings(samples: np.ndarray) -> list[str]:
 
 
 def counts_from_samples(samples: np.ndarray) -> dict[str, int]:
-    """Aggregate a (shots, n) sample array into a counts dictionary."""
-    counts: dict[str, int] = {}
-    for bits in samples_to_bitstrings(samples):
-        counts[bits] = counts.get(bits, 0) + 1
-    return counts
+    """Aggregate a (shots, n) sample array into a counts dictionary.
+
+    Aggregation happens in NumPy (one ``np.unique`` over the rows) so that the
+    per-shot Python work is proportional to the number of *distinct*
+    bitstrings, not the shot count — this runs on every 100k-shot stage-2
+    sample.
+    """
+    samples = np.asarray(samples, dtype=np.uint8)
+    if samples.ndim != 2:
+        raise BackendError(f"samples must be 2-D, got shape {samples.shape}")
+    if samples.shape[0] == 0:
+        return {}
+    uniq, counts = np.unique(samples, axis=0, return_counts=True)
+    return {
+        bits: int(freq)
+        for bits, freq in zip(samples_to_bitstrings(uniq), counts)
+    }
 
 
 class Backend(ABC):

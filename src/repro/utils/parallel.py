@@ -45,12 +45,17 @@ def parallel_map(
     items: Iterable[T],
     processes: int | None = None,
     chunk_size: int | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     """Map ``func`` over ``items`` preserving order.
 
     ``processes`` of ``None`` uses :func:`default_worker_count`; ``0`` or ``1``
     runs serially in the calling process.  ``func`` and the items must be
-    picklable when running with more than one process.
+    picklable when running with more than one process.  ``initializer`` runs
+    once in every worker before any item (used to replicate parent-process
+    state — e.g. runtime backend registrations — under spawn-based start
+    methods, where workers do not inherit the parent's module state).
     """
     items = list(items)
     if not items:
@@ -61,7 +66,7 @@ def parallel_map(
         return [func(item) for item in items]
     if chunk_size is None:
         chunk_size = max(1, len(items) // (processes * 4))
-    with ProcessPoolExecutor(max_workers=processes) as pool:
+    with ProcessPoolExecutor(max_workers=processes, initializer=initializer, initargs=initargs) as pool:
         return list(pool.map(func, items, chunksize=chunk_size))
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.exceptions import VQEError
 from repro.lattice.hamiltonian import LatticeHamiltonian
+from repro.quantum.backend import samples_to_bitstrings
 
 
 class DiagonalExpectation:
@@ -53,8 +54,17 @@ class DiagonalExpectation:
             raise VQEError("counts dictionary has zero total shots")
         return acc / total
 
-    def estimate_from_samples(self, samples: np.ndarray) -> float:
-        """Mean energy of a (shots, n) sample array."""
+    def _unique_config_energies(
+        self, samples: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group a sample array by configuration register and decode each row once.
+
+        Returns ``(energies, inverse, counts)`` where ``energies[i]`` is the
+        energy of the i-th distinct configuration row, ``inverse`` maps every
+        shot back to its row, and ``counts`` is the multiplicity of each row.
+        Grouping keeps the Python-level decoding work proportional to the
+        number of distinct conformations rather than the shot count.
+        """
         samples = np.asarray(samples, dtype=np.uint8)
         if samples.ndim != 2 or samples.shape[0] == 0:
             raise VQEError(f"samples must be a non-empty 2-D array, got shape {samples.shape}")
@@ -64,14 +74,17 @@ class DiagonalExpectation:
                 f"samples have {samples.shape[1]} qubits, but the configuration "
                 f"register needs {width}"
             )
-        config = samples[:, :width]
-        # Group identical configuration rows so each distinct conformation is
-        # decoded exactly once regardless of the shot count.
-        uniq, inverse, counts = np.unique(config, axis=0, return_inverse=True, return_counts=True)
-        energies = np.empty(uniq.shape[0])
-        for i, row in enumerate(uniq):
-            bits = "".join("1" if b else "0" for b in row)
-            energies[i] = self.energy_of_bits(bits)
+        uniq, inverse, counts = np.unique(
+            samples[:, :width], axis=0, return_inverse=True, return_counts=True
+        )
+        energies = np.array(
+            [self.energy_of_bits(bits) for bits in samples_to_bitstrings(uniq)]
+        )
+        return energies, np.ravel(inverse), counts
+
+    def estimate_from_samples(self, samples: np.ndarray) -> float:
+        """Mean energy of a (shots, n) sample array."""
+        energies, _, counts = self._unique_config_energies(samples)
         return float(np.dot(energies, counts) / counts.sum())
 
     def cvar_from_samples(self, samples: np.ndarray, alpha: float = 0.2) -> float:
@@ -92,12 +105,5 @@ class DiagonalExpectation:
 
     def per_shot_energies(self, samples: np.ndarray) -> np.ndarray:
         """Energy of every individual shot (used for distribution diagnostics)."""
-        samples = np.asarray(samples, dtype=np.uint8)
-        width = self.encoding.configuration_qubits
-        config = samples[:, :width]
-        uniq, inverse = np.unique(config, axis=0, return_inverse=True)
-        energies = np.empty(uniq.shape[0])
-        for i, row in enumerate(uniq):
-            bits = "".join("1" if b else "0" for b in row)
-            energies[i] = self.energy_of_bits(bits)
+        energies, inverse, _ = self._unique_config_energies(samples)
         return energies[inverse]

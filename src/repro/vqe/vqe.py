@@ -31,7 +31,7 @@ from repro.lattice.decoder import ConformationDecoder
 from repro.lattice.encoding import circuit_depth_for_qubits
 from repro.lattice.hamiltonian import LatticeHamiltonian
 from repro.quantum.ansatz import EfficientSU2
-from repro.quantum.backend import AutoBackend, Backend, counts_from_samples
+from repro.quantum.backend import Backend, counts_from_samples
 from repro.utils.rng import rng_for
 from repro.vqe.expectation import DiagonalExpectation
 from repro.vqe.optimizer import CobylaOptimizer, OptimizerResult
@@ -55,10 +55,13 @@ class VQE:
         self.hamiltonian = hamiltonian
         self.encoding = hamiltonian.encoding
         self.config = config or PipelineConfig()
-        self.backend = backend or AutoBackend(
-            max_statevector_qubits=self.config.max_statevector_qubits,
-            max_bond_dimension=self.config.mps_bond_dimension,
-        )
+        if backend is None:
+            # Resolved by name (config.backend) through the engine's registry;
+            # imported lazily because the engine package imports this module.
+            from repro.engine.registry import make_backend
+
+            backend = make_backend(self.config.backend, self.config)
+        self.backend = backend
         self.optimizer = optimizer
         self.register = register
         self.seed = self.config.seed if seed is None else int(seed)

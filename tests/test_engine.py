@@ -1,0 +1,263 @@
+"""Tests for the job engine: registry, content hashing, cache, fan-out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.engine import (
+    Engine,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    backend_names,
+    execute_job,
+    make_backend,
+    register_backend,
+)
+from repro.engine.registry import registry_snapshot, restore_registry
+from repro.exceptions import BackendError, EngineError
+from repro.folding.predictor import QuantumFoldingPredictor
+from repro.hardware.eagle import EagleEmulatorBackend
+from repro.quantum.backend import AutoBackend, MPSBackend, StatevectorBackend
+from repro.quantum.circuit import QuantumCircuit
+
+
+@pytest.fixture(scope="module")
+def engine_config() -> PipelineConfig:
+    """A minimal configuration keeping fold jobs cheap."""
+    return PipelineConfig(
+        vqe_iterations=6,
+        optimisation_shots=32,
+        final_shots=64,
+        ansatz_reps=1,
+        seed=11,
+    )
+
+
+def _structures_identical(a, b) -> bool:
+    return (
+        np.array_equal(a.structure.all_coords(), b.structure.all_coords())
+        and a.structure.sequence == b.structure.sequence
+        and a.metadata == b.metadata
+    )
+
+
+# -- backend registry ---------------------------------------------------------------
+
+
+def test_registry_knows_all_builtin_backends():
+    assert {"statevector", "mps", "auto", "eagle"} <= set(backend_names())
+
+
+def test_make_backend_types_and_config_wiring(engine_config):
+    assert isinstance(make_backend("statevector", engine_config), StatevectorBackend)
+    assert isinstance(make_backend("auto", engine_config), AutoBackend)
+    mps = make_backend("mps", engine_config.with_updates(mps_bond_dimension=5))
+    assert isinstance(mps, MPSBackend)
+    assert mps.max_bond_dimension == 5
+    eagle = make_backend("eagle", engine_config.with_updates(noise_enabled=False))
+    assert isinstance(eagle, EagleEmulatorBackend)
+    assert eagle.noise_enabled is False
+
+
+def test_make_backend_defaults_to_config_backend(engine_config):
+    backend = make_backend(config=engine_config.with_updates(backend="mps"))
+    assert isinstance(backend, MPSBackend)
+
+
+def test_make_backend_unknown_name_raises(engine_config):
+    with pytest.raises(BackendError):
+        make_backend("no_such_backend", engine_config)
+
+
+def test_register_backend_rejects_duplicates():
+    with pytest.raises(BackendError):
+        register_backend("auto", lambda config: None)
+
+
+def test_auto_backend_selection_at_exact_boundary():
+    boundary = 9
+    auto = AutoBackend(max_statevector_qubits=boundary)
+    # Exactly at the limit the exact simulator is still used; one past it
+    # falls over to MPS.
+    assert auto.chosen_backend(QuantumCircuit(boundary - 1)) == "statevector"
+    assert auto.chosen_backend(QuantumCircuit(boundary)) == "statevector"
+    assert auto.chosen_backend(QuantumCircuit(boundary + 1)) == "mps"
+
+
+def test_make_backend_auto_respects_boundary_from_config(engine_config):
+    auto = make_backend("auto", engine_config.with_updates(max_statevector_qubits=7))
+    assert auto.chosen_backend(QuantumCircuit(7)) == "statevector"
+    assert auto.chosen_backend(QuantumCircuit(8)) == "mps"
+
+
+# -- job hashing --------------------------------------------------------------------
+
+
+def test_job_hash_is_stable_and_identity_sensitive(engine_config):
+    spec = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config)
+    assert spec.content_hash() == spec.content_hash()
+    assert JobSpec(pdb_id="3EAX", sequence="RYRDV", config=engine_config).content_hash() == spec.content_hash()
+    assert JobSpec(pdb_id="3ckz", sequence="RYRDV", config=engine_config).content_hash() != spec.content_hash()
+    assert JobSpec(pdb_id="3eax", sequence="VKDRS", config=engine_config).content_hash() != spec.content_hash()
+
+
+def test_job_hash_covers_fold_knobs_only(engine_config):
+    base = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config)
+    # Orchestration and docking knobs must not invalidate cached folds ...
+    for irrelevant in (
+        engine_config.with_updates(docking_seeds=99),
+        engine_config.with_updates(engine_workers=8),
+        engine_config.with_updates(cache_dir="/somewhere/else"),
+    ):
+        assert JobSpec("3eax", "RYRDV", config=irrelevant).content_hash() == base.content_hash()
+    # ... while anything that changes the fold result must.
+    for relevant in (
+        engine_config.with_updates(seed=12),
+        engine_config.with_updates(backend="mps"),
+        engine_config.with_updates(final_shots=128),
+    ):
+        assert JobSpec("3eax", "RYRDV", config=relevant).content_hash() != base.content_hash()
+
+
+def test_job_hash_rejects_unserialisable_extra(engine_config):
+    good = JobSpec("3eax", "RYRDV", config=engine_config.with_updates(extra={"note": 1}))
+    assert good.content_hash() == good.content_hash()
+    bad = JobSpec("3eax", "RYRDV", config=engine_config.with_updates(extra={"obj": object()}))
+    with pytest.raises(EngineError):
+        bad.content_hash()
+
+
+def test_registry_snapshot_roundtrips_through_restore():
+    snapshot = registry_snapshot()
+    assert "auto" in snapshot
+    restore_registry(snapshot)  # idempotent merge of the worker initializer
+    assert registry_snapshot() == snapshot
+
+
+# -- cache --------------------------------------------------------------------------
+
+
+def test_result_cache_roundtrip_and_stats(tmp_path, engine_config):
+    cache = ResultCache(tmp_path / "cache")
+    spec = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config)
+    key = spec.content_hash()
+    assert cache.get(key) is None
+    result = execute_job(spec)
+    cache.put(key, result.to_payload())
+    assert key in cache
+    assert len(cache) == 1
+    restored = JobResult.from_payload(cache.get(key))
+    assert restored.from_cache
+    assert _structures_identical(restored.prediction, result.prediction)
+    assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "writes": 1, "hit_rate": 0.5}
+    assert cache.clear() == 1
+    assert cache.get(key) is None
+
+
+def test_result_cache_treats_corrupt_entry_as_miss(tmp_path, engine_config):
+    cache = ResultCache(tmp_path)
+    key = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config).content_hash()
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{ not json")
+    assert cache.get(key) is None
+    path.write_text('{"spec_hash": "someone-else"}')
+    assert cache.get(key) is None
+    assert cache.stats.misses == 2
+
+
+# -- engine -------------------------------------------------------------------------
+
+
+def test_engine_warm_cache_performs_zero_vqe_executions(tmp_path, engine_config):
+    engine = Engine(config=engine_config, cache=tmp_path / "cache")
+    specs = [engine.spec("3eax", "RYRDV"), engine.spec("3ckz", "VKDRS", start_seq_id=149)]
+
+    cold = engine.run(specs)
+    stats = engine.stats()
+    assert stats["executed_jobs"] == 2
+    assert stats["cache"] == {"hits": 0, "misses": 2, "writes": 2, "hit_rate": 0.0}
+    assert not any(r.from_cache for r in cold)
+
+    warm = engine.run(specs)
+    stats = engine.stats()
+    assert stats["executed_jobs"] == 2  # unchanged: no new VQE executions
+    assert stats["cache"]["hits"] == 2
+    assert all(r.from_cache for r in warm)
+    for a, b in zip(cold, warm):
+        assert a.spec_hash == b.spec_hash
+        assert _structures_identical(a.prediction, b.prediction)
+
+    # A brand-new engine over the same cache directory also executes nothing.
+    fresh = Engine(config=engine_config, cache=tmp_path / "cache")
+    again = fresh.run(specs)
+    assert fresh.stats()["executed_jobs"] == 0
+    assert all(r.from_cache for r in again)
+
+
+def test_engine_serial_and_parallel_runs_are_bit_identical(engine_config):
+    engine = Engine(config=engine_config)
+    specs = [
+        engine.spec("3eax", "RYRDV"),
+        engine.spec("3ckz", "VKDRS"),
+        engine.spec("4mo4", "NIGGF"),
+    ]
+    serial = engine.run(specs, processes=0)
+    parallel = engine.run(specs, processes=2)
+    assert [r.pdb_id for r in parallel] == [r.pdb_id for r in serial]
+    for a, b in zip(serial, parallel):
+        assert a.spec_hash == b.spec_hash
+        assert np.array_equal(a.conformation_coords, b.conformation_coords)
+        assert _structures_identical(a.prediction, b.prediction)
+
+
+def test_engine_deduplicates_identical_jobs_within_a_batch(engine_config):
+    engine = Engine(config=engine_config)
+    spec = engine.spec("3eax", "RYRDV")
+    results = engine.run([spec, spec, spec])
+    assert engine.stats()["executed_jobs"] == 1
+    assert len(results) == 3
+    assert _structures_identical(results[0].prediction, results[2].prediction)
+
+
+def test_engine_cache_dir_from_config(tmp_path, engine_config):
+    config = engine_config.with_updates(cache_dir=str(tmp_path / "implicit"))
+    engine = Engine(config=config)
+    engine.run([engine.spec("3eax", "RYRDV")])
+    assert Engine(config=config).stats()["cache"] is not None
+    rerun = Engine(config=config).run([JobSpec("3eax", "RYRDV", config=config)])
+    assert rerun[0].from_cache
+
+
+# -- predictor integration ----------------------------------------------------------
+
+
+def test_predict_many_routes_through_engine_and_matches_predict(engine_config):
+    predictor = QuantumFoldingPredictor(config=engine_config)
+    fragments = [("3eax", "RYRDV"), ("3ckz", "VKDRS")]
+    batch = predictor.predict_many(fragments)
+    singles = [predictor.predict(pdb_id, seq) for pdb_id, seq in fragments]
+    assert len(batch) == 2
+    for got, want in zip(batch, singles):
+        assert got.pdb_id == want.pdb_id
+        assert _structures_identical(got, want)
+
+
+def test_predictor_reuses_engine_and_accumulates_stats(engine_config):
+    predictor = QuantumFoldingPredictor(config=engine_config)
+    predictor.predict("3eax", "RYRDV")
+    predictor.predict("3ckz", "VKDRS")
+    assert predictor.engine.stats()["completed_jobs"] == 2
+
+
+def test_predictor_with_explicit_backend_stays_local(engine_config):
+    backend = EagleEmulatorBackend(ancilla_margin=2, noise_enabled=False)
+    predictor = QuantumFoldingPredictor(config=engine_config, backend=backend)
+    prediction = predictor.predict("3eax", "RYRDV")
+    # The caller-supplied backend instance actually executed the jobs (and
+    # kept its per-job records), i.e. nothing was shipped to the engine.
+    assert backend.total_shots() > 0
+    assert prediction.metadata["backend"] == "eagle_emulator"
