@@ -26,7 +26,7 @@ def main() -> None:
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="persistent fold-result cache; re-runs skip already-folded fragments",
+        help="persistent result cache; re-runs skip already-computed folds, baselines and docking searches",
     )
     args = parser.parse_args()
 

@@ -1,4 +1,22 @@
-"""Setuptools shim so `pip install -e .` works without PEP 517 build isolation."""
-from setuptools import setup
+"""Setuptools packaging for the QDockBank reproduction.
 
-setup()
+Kept as a plain setup.py (no PEP 517 build isolation required) so
+``pip install -e .`` works offline.  Installs the ``repro`` package from
+``src/`` and the ``repro-cache`` console tool (:mod:`repro.cli.cache`).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="qdockbank-repro",
+    version="1.0.0",
+    description="From-scratch reproduction of QDockBank (SC 2025): VQE fragment folding, docking and analysis",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro-cache=repro.cli.cache:main",
+        ],
+    },
+)

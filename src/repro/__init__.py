@@ -30,7 +30,16 @@ from repro.folding.predictor import (
     fold_fragment,
 )
 from repro.folding.baselines import AF2LikePredictor, AF3LikePredictor
-from repro.engine import Engine, JobResult, JobSpec, ResultCache, make_backend
+from repro.engine import (
+    BaselineFoldSpec,
+    DockJobResult,
+    DockSpec,
+    Engine,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    make_backend,
+)
 from repro.docking.vina import DockingEngine
 from repro.docking.ligand import SyntheticLigandGenerator
 from repro.dataset.builder import DatasetBuilder
@@ -48,6 +57,9 @@ __all__ = [
     "ClassicalFoldingPredictor",
     "FoldingPrediction",
     "fold_fragment",
+    "BaselineFoldSpec",
+    "DockJobResult",
+    "DockSpec",
     "Engine",
     "JobResult",
     "JobSpec",

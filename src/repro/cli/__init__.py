@@ -1,0 +1,7 @@
+"""Command-line tools for the QDockBank reproduction.
+
+Currently one tool: ``repro-cache`` (:mod:`repro.cli.cache`), the maintenance
+interface to the engine's persistent result cache.  Installed as a console
+script by ``setup.py``; also runnable without installation as
+``python -m repro.cli.cache``.
+"""

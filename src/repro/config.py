@@ -58,6 +58,16 @@ class PipelineConfig:
     cache_dir:
         Directory of the engine's persistent result cache; ``None`` disables
         caching.
+    cache_max_bytes:
+        Total size bound (bytes) of the persistent result cache; ``None``
+        (the default) leaves the cache unbounded.  When set, every cache
+        write evicts old entries until the cache fits the bound — eviction
+        only ever costs recompute time, never correctness.
+    cache_eviction:
+        Eviction policy applied when the bound is exceeded: ``"lru"`` (the
+        default; a cache hit refreshes the entry, so the least-recently-used
+        entries go first) or ``"fifo"`` (hits do not refresh, so the oldest
+        written entries go first).
     """
 
     vqe_iterations: int = 60
@@ -75,6 +85,8 @@ class PipelineConfig:
     backend: str = "auto"
     engine_workers: int = 0
     cache_dir: str | None = None
+    cache_max_bytes: int | None = None
+    cache_eviction: str = "lru"
     #: CVaR fraction used by the stage-1 objective (1.0 = plain expectation).
     cvar_alpha: float = 0.2
     #: Cap applied to the width-scaled stage-2 shot count.

@@ -1,30 +1,50 @@
 """Batch construction of dataset entries (the Sec. 5.2 architecture, classically).
 
-Every fragment is an independent work item.  The expensive quantum folds are
-streamed through the job engine first (:class:`~repro.engine.core.Engine` —
-parallel fan-out, in-batch dedup, persistent result cache); the remaining
-per-fragment work (baseline folds, reference and ligand generation, docking,
-entry assembly) then runs either serially or on a process pool via
-:class:`~repro.utils.parallel.ParallelExecutor`.  Results are deterministic
-for any worker count and any cache state because every stochastic component
-derives its seed from the master seed plus the fragment identity.
+Every fragment is an independent work item, and every *expensive* unit of
+work — the quantum VQE fold, each AF2/AF3-like baseline fold, and each
+multi-seed docking search — is a typed engine job
+(:mod:`repro.engine.jobs`) streamed through one
+:class:`~repro.engine.core.Engine` with parallel fan-out, in-batch dedup and
+the persistent result cache.  :meth:`BatchProcessor.build_entries` runs three
+phases:
+
+1. **fold** — one ``fold`` job per fragment plus one ``baseline_fold`` job per
+   fragment and method, submitted as a single engine batch;
+2. **dock** — reference structures and synthetic ligands are derived (cheap,
+   deterministic), then one ``dock`` job per predicted structure (quantum and
+   baselines) goes through the engine, each run seeded per
+   ``(receptor, run index)``;
+3. **assemble** — RMSD metrics and entry records are computed in-process.
+
+Against a warm cache the entire rebuild performs zero VQE executions and zero
+docking searches.  Results are deterministic for any worker count and any
+cache state because every stochastic component derives its seed from the
+master seed plus the work item's identity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bio.reference import ReferenceStructureGenerator
+from repro.bio.reference import ReferenceRecord, ReferenceStructureGenerator
 from repro.bio.rmsd import ca_rmsd
 from repro.config import PipelineConfig
 from repro.dataset.entry import MethodEvaluation, QDockBankEntry
 from repro.dataset.fragments import Fragment
-from repro.docking.ligand import SyntheticLigandGenerator
+from repro.docking.ligand import Ligand, SyntheticLigandGenerator
 from repro.docking.vina import DockingEngine, DockingResult
 from repro.engine.core import Engine
-from repro.folding.baselines import AF2LikePredictor, AF3LikePredictor
+from repro.folding.baselines import (
+    BASELINE_PREDICTORS,
+    AF2LikePredictor,
+    AF3LikePredictor,
+)
 from repro.folding.predictor import FoldingPrediction, fold_fragment
 from repro.utils.parallel import ParallelExecutor
+
+#: Baseline methods evaluated next to the quantum prediction — derived from
+#: the predictor registry so a newly registered baseline is picked up here.
+BASELINE_METHODS: tuple[str, ...] = tuple(BASELINE_PREDICTORS)
 
 
 @dataclass(frozen=True)
@@ -43,6 +63,28 @@ class FragmentTask:
     quantum: FoldingPrediction | None = None
 
 
+@dataclass(frozen=True)
+class _ContextTask:
+    """Input of :func:`prepare_context` (picklable for the executor)."""
+
+    fragment: Fragment
+    config: PipelineConfig
+
+
+def prepare_context(task: _ContextTask) -> tuple[ReferenceRecord, Ligand]:
+    """Derive the reference structure and synthetic ligand for one fragment.
+
+    Cheap and fully deterministic in ``(fragment, config.seed)`` — this is the
+    docking phase's input preparation, not engine-cached work.
+    """
+    fragment = task.fragment
+    reference = ReferenceStructureGenerator(master_seed=task.config.seed).generate(
+        fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
+    )
+    ligand = SyntheticLigandGenerator(master_seed=task.config.seed).generate(reference)
+    return reference, ligand
+
+
 def _evaluate_method(
     prediction: FoldingPrediction,
     reference_structure,
@@ -58,11 +100,40 @@ def _evaluate_method(
     )
 
 
-def build_entry(task: FragmentTask) -> QDockBankEntry:
-    """Build the complete dataset entry for one fragment.
+def _assemble_entry(
+    fragment: Fragment,
+    reference: ReferenceRecord,
+    evaluated: list[tuple[FoldingPrediction, DockingResult]],
+    keep_structures: bool,
+) -> QDockBankEntry:
+    """Assemble one entry from evaluated ``(prediction, docking)`` pairs.
 
-    This is a module-level function (not a method) so it can be dispatched to
-    worker processes by :class:`BatchProcessor`.
+    ``evaluated[0]`` must be the quantum prediction; the rest are baselines.
+    Shared by the inline path (:func:`build_entry`) and the batch pipeline so
+    evaluation and structure-retention rules cannot diverge.
+    """
+    quantum, _ = evaluated[0]
+    entry = QDockBankEntry(
+        fragment=fragment,
+        quantum_metadata=quantum.metadata,
+        predicted_structure=quantum.structure if keep_structures else None,
+        reference_structure=reference.structure if keep_structures else None,
+    )
+    for i, (prediction, docking) in enumerate(evaluated):
+        entry.evaluations[prediction.method] = _evaluate_method(
+            prediction, reference.structure, docking
+        )
+        if i > 0 and keep_structures:
+            entry.baseline_structures[prediction.method] = prediction.structure
+    return entry
+
+
+def build_entry(task: FragmentTask) -> QDockBankEntry:
+    """Build the complete dataset entry for one fragment, inline.
+
+    This is the single-fragment path kept for direct callers and workers; the
+    batch pipeline (:meth:`BatchProcessor.build_entries`) instead streams the
+    expensive pieces through the engine so they dedup and cache.
     """
     fragment = task.fragment
     config = task.config
@@ -90,36 +161,27 @@ def build_entry(task: FragmentTask) -> QDockBankEntry:
             config=config,
             start_seq_id=fragment.residue_start,
         )
-    qdock_docking = docking_engine.dock(
-        qdock_prediction.structure, ligand, receptor_id=f"{fragment.pdb_id}:QDock"
-    )
-
-    entry = QDockBankEntry(
-        fragment=fragment,
-        quantum_metadata=qdock_prediction.metadata,
-        predicted_structure=qdock_prediction.structure if task.keep_structures else None,
-        reference_structure=reference.structure if task.keep_structures else None,
-    )
-    entry.evaluations["QDock"] = _evaluate_method(qdock_prediction, reference.structure, qdock_docking)
-
+    predictions = [qdock_prediction]
     if task.include_baselines:
         for predictor in (
             AF2LikePredictor(reference_generator=reference_generator),
             AF3LikePredictor(reference_generator=reference_generator),
         ):
-            prediction = predictor.predict(
-                fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
+            predictions.append(
+                predictor.predict(
+                    fragment.pdb_id, fragment.sequence, start_seq_id=fragment.residue_start
+                )
             )
-            docking = docking_engine.dock(
+    evaluated = [
+        (
+            prediction,
+            docking_engine.dock(
                 prediction.structure, ligand, receptor_id=f"{fragment.pdb_id}:{prediction.method}"
-            )
-            entry.evaluations[prediction.method] = _evaluate_method(
-                prediction, reference.structure, docking
-            )
-            if task.keep_structures:
-                entry.baseline_structures[prediction.method] = prediction.structure
-
-    return entry
+            ),
+        )
+        for prediction in predictions
+    ]
+    return _assemble_entry(fragment, reference, evaluated, task.keep_structures)
 
 
 class BatchProcessor:
@@ -143,22 +205,67 @@ class BatchProcessor:
     ) -> list[QDockBankEntry]:
         """Build entries for ``fragments`` (order preserved).
 
-        Phase 1 streams every quantum fold through the engine (parallel,
-        cached); phase 2 runs the remaining per-fragment work on the executor.
+        All expensive work goes through the engine: phase 1 streams every
+        quantum and baseline fold, phase 2 streams every docking search
+        (three receptors per fragment when baselines are included), and
+        phase 3 assembles the entries in-process.
         """
-        specs = [
+        methods = BASELINE_METHODS if include_baselines else ()
+        processes = self.executor.processes
+        # One configuration governs every job and context in this build: the
+        # engine's own (identical to self.config unless a caller wired a
+        # differently-configured engine — jobs must hash against the config
+        # they execute with).
+        config = self.engine.config
+
+        # Phase 1: every fold — quantum and baseline — in one engine batch.
+        fold_specs = [
             self.engine.spec(f.pdb_id, f.sequence, start_seq_id=f.residue_start)
             for f in fragments
         ]
-        folds = self.engine.run(specs, processes=self.executor.processes)
-        tasks = [
-            FragmentTask(
-                fragment=f,
-                config=self.config,
-                keep_structures=keep_structures,
-                include_baselines=include_baselines,
-                quantum=fold.prediction,
+        baseline_specs = [
+            self.engine.baseline_spec(
+                f.pdb_id, f.sequence, method, start_seq_id=f.residue_start
             )
-            for f, fold in zip(fragments, folds)
+            for f in fragments
+            for method in methods
         ]
-        return self.executor.map(build_entry, tasks)
+        fold_results = self.engine.run([*fold_specs, *baseline_specs], processes=processes)
+        quantum = fold_results[: len(fragments)]
+        baselines = fold_results[len(fragments):]
+        # predictions[i] lists (method, prediction) for fragment i, quantum first.
+        predictions: list[list[tuple[str, FoldingPrediction]]] = []
+        for i in range(len(fragments)):
+            per_fragment = [("QDock", quantum[i].prediction)]
+            for j, method in enumerate(methods):
+                per_fragment.append((method, baselines[i * len(methods) + j].prediction))
+            predictions.append(per_fragment)
+
+        # Phase 2: derive references/ligands, then every docking search
+        # through the engine (seeded per receptor identity and run index).
+        contexts = self.executor.map(
+            prepare_context, [_ContextTask(fragment=f, config=config) for f in fragments]
+        )
+        dock_specs = [
+            self.engine.dock_spec(
+                f.pdb_id,
+                prediction.structure,
+                contexts[i][1],
+                receptor_id=f"{f.pdb_id}:{method}",
+            )
+            for i, f in enumerate(fragments)
+            for method, prediction in predictions[i]
+        ]
+        dock_results = self.engine.run(dock_specs, processes=processes)
+        dock_iter = iter(dock_results)
+
+        # Phase 3: assemble the entries (cheap, in-process).
+        entries: list[QDockBankEntry] = []
+        for i, fragment in enumerate(fragments):
+            reference, _ligand = contexts[i]
+            evaluated = [
+                (prediction, next(dock_iter).docking)
+                for _method, prediction in predictions[i]
+            ]
+            entries.append(_assemble_entry(fragment, reference, evaluated, keep_structures))
+        return entries

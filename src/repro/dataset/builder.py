@@ -25,12 +25,14 @@ class DatasetBuilder:
         Pipeline configuration (use :meth:`PipelineConfig.paper` for
         full-fidelity runs, :meth:`PipelineConfig.fast` for CI-scale runs).
     processes:
-        Worker processes for the fold fan-out and batch stage; ``0``/``1``
+        Worker processes for the engine fan-out and batch stage; ``0``/``1``
         runs serially (results are bit-identical either way).
     cache_dir:
-        Directory of the engine's persistent fold cache; repeated builds over
-        the same fragments and configuration skip the VQE entirely.  ``None``
-        falls back to ``config.cache_dir``.
+        Directory of the engine's persistent result cache (folds, baseline
+        folds and docking searches alike); repeated builds over the same
+        fragments and configuration skip the VQE *and* every docking search
+        entirely.  ``None`` falls back to ``config.cache_dir``; the cache is
+        bounded by ``config.cache_max_bytes`` / ``config.cache_eviction``.
     """
 
     def __init__(

@@ -5,6 +5,20 @@ structure is docked against its native ligand in ``N`` independent runs, each
 initialised with a distinct recorded random seed; each run reports its top 10
 poses ranked by affinity together with the RMSD lower/upper bounds of each
 pose relative to the best pose of that run (the numbers AutoDock Vina prints).
+
+Engine-job entry point
+----------------------
+Docking searches are first-class engine jobs (``kind="dock"``, see
+:class:`repro.engine.jobs.DockSpec`): :func:`dock_structure` is the
+module-level executor entry point — it builds a :class:`DockingEngine` from
+the dock-relevant :class:`~repro.config.PipelineConfig` knobs
+(``docking_seeds``, ``docking_poses``, ``docking_mc_steps``, ``seed``) and
+runs the full multi-seed search.  Every run's seed derives from the master
+seed plus the receptor identity plus the run index (``child_seed``), never
+from worker assignment, so results are bit-identical for any worker count.
+:meth:`DockingResult.from_dict` rebuilds a result from its serialised summary,
+which is what the engine's persistent cache stores; a warm cache therefore
+replays docking results without a single Monte-Carlo step.
 """
 
 from __future__ import annotations
@@ -14,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bio.structure import Structure
+from repro.config import PipelineConfig
 from repro.docking.ligand import Ligand
 from repro.docking.pocket import find_pockets
 from repro.docking.scoring import ScoringWeights, VinaScoringFunction
@@ -58,6 +73,17 @@ class DockedPose:
             "rmsd_ub": float(self.rmsd_ub),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "DockedPose":
+        """Inverse of :meth:`as_dict` (pose coordinates are not serialised)."""
+        return cls(
+            rank=int(data["rank"]),
+            affinity=float(data["affinity"]),
+            rmsd_lb=float(data["rmsd_lb"]),
+            rmsd_ub=float(data["rmsd_ub"]),
+            coordinates=np.empty((0, 3)),
+        )
+
 
 @dataclass
 class DockingRun:
@@ -86,6 +112,14 @@ class DockingRun:
             "mean_affinity": float(self.mean_affinity),
             "poses": [p.as_dict() for p in self.poses],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DockingRun":
+        """Inverse of :meth:`as_dict`; aggregates recompute from the poses."""
+        return cls(
+            seed=int(data["seed"]),
+            poses=[DockedPose.from_dict(p) for p in data["poses"]],
+        )
 
 
 @dataclass
@@ -136,6 +170,44 @@ class DockingResult:
             "mean_rmsd_ub": float(self.mean_rmsd_ub),
             "runs": [run.as_dict() for run in self.runs],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DockingResult":
+        """Rebuild a result from its :meth:`as_dict` summary.
+
+        Every aggregate property recomputes from the restored per-pose numbers
+        (floats round-trip JSON exactly), so a deserialised result reports the
+        same affinities and RMSD bounds as the fresh search it was saved from.
+        """
+        return cls(
+            receptor_id=data["receptor"],
+            ligand_name=data["ligand"],
+            runs=[DockingRun.from_dict(run) for run in data["runs"]],
+        )
+
+
+def dock_structure(
+    receptor: Structure,
+    ligand: Ligand,
+    config: PipelineConfig | None = None,
+    receptor_id: str | None = None,
+) -> DockingResult:
+    """Run the full multi-seed docking protocol for one receptor/ligand pair.
+
+    This is the engine's ``dock`` job executor entry point: it constructs a
+    :class:`DockingEngine` from the dock-relevant configuration knobs and
+    returns the complete :class:`DockingResult`.  Deterministic in
+    ``(receptor, ligand, receptor_id, config)`` — the per-run seeds derive
+    from ``config.seed`` and ``receptor_id`` only.
+    """
+    config = config or PipelineConfig()
+    engine = DockingEngine(
+        num_seeds=config.docking_seeds,
+        num_poses=config.docking_poses,
+        mc_steps=config.docking_mc_steps,
+        master_seed=config.seed,
+    )
+    return engine.dock(receptor, ligand, receptor_id=receptor_id)
 
 
 class DockingEngine:

@@ -1,32 +1,81 @@
-"""Job-oriented execution engine (backend registry, fan-out, result cache).
+"""Job-oriented execution engine (typed jobs, registries, fan-out, result cache).
 
-The single entry point for fold work::
+The single entry point for all expensive work — quantum folds, baseline
+folds and docking searches are one typed job family::
 
-    from repro.engine import Engine, JobSpec
+    from repro.engine import Engine
 
     engine = Engine(config=PipelineConfig.fast(), cache="qdockbank_cache")
-    results = engine.run([engine.spec("2bok", "EDACQGDSGG")], processes=4)
+    jobs = [
+        engine.spec("2bok", "EDACQGDSGG"),                  # kind="fold"
+        engine.baseline_spec("2bok", "EDACQGDSGG", "AF2"),  # kind="baseline_fold"
+    ]
+    results = engine.run(jobs, processes=4)
+    print(engine.stats())   # executed_by_kind, cache hit/miss counters
 
 See :mod:`repro.engine.core` for the execution model, :mod:`repro.engine.jobs`
-for content hashing, :mod:`repro.engine.registry` for named backends and
-:mod:`repro.engine.cache` for the persistent store.
+for the job kinds and content hashing, :mod:`repro.engine.registry` for named
+backends and per-kind executors, :mod:`repro.engine.cache` for the persistent
+(optionally LRU-bounded) store, and :mod:`repro.cli.cache` for the
+``repro-cache`` maintenance tool.
 """
 
-from repro.engine.cache import CacheStats, ResultCache
-from repro.engine.jobs import ENGINE_SCHEMA_VERSION, JobResult, JobSpec, config_fingerprint
-from repro.engine.registry import backend_names, make_backend, register_backend
-from repro.engine.core import Engine, execute_job
+from repro.engine.cache import CacheEntry, CacheStats, ResultCache
+from repro.engine.jobs import (
+    BASELINE_SCHEMA_VERSION,
+    DOCK_SCHEMA_VERSION,
+    ENGINE_SCHEMA_VERSION,
+    FOLD_SCHEMA_VERSION,
+    JOB_KINDS,
+    BaselineFoldSpec,
+    DockJobResult,
+    DockSpec,
+    JobResult,
+    JobSpec,
+    config_fingerprint,
+    result_from_payload,
+)
+from repro.engine.registry import (
+    backend_names,
+    executor_for,
+    executor_kinds,
+    make_backend,
+    register_backend,
+    register_executor,
+)
+from repro.engine.core import (
+    Engine,
+    execute_baseline_job,
+    execute_dock_job,
+    execute_fold_job,
+    execute_job,
+)
 
 __all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "DOCK_SCHEMA_VERSION",
     "ENGINE_SCHEMA_VERSION",
+    "FOLD_SCHEMA_VERSION",
+    "JOB_KINDS",
+    "BaselineFoldSpec",
+    "CacheEntry",
     "CacheStats",
+    "DockJobResult",
+    "DockSpec",
     "Engine",
     "JobResult",
     "JobSpec",
     "ResultCache",
     "backend_names",
     "config_fingerprint",
+    "execute_baseline_job",
+    "execute_dock_job",
+    "execute_fold_job",
     "execute_job",
+    "executor_for",
+    "executor_kinds",
     "make_backend",
     "register_backend",
+    "register_executor",
+    "result_from_payload",
 ]

@@ -1,19 +1,24 @@
-"""The job engine: scatter fold jobs, gather results, reuse cached work.
+"""The job engine: scatter typed jobs, gather results, reuse cached work.
 
-This is the Sec. 5.2 batch architecture as a subsystem: every fold — a single
-quickstart fragment, the 55-fragment dataset build, a benchmark sweep — is a
-:class:`~repro.engine.jobs.JobSpec` streamed through one :class:`Engine`.
-The engine
+This is the Sec. 5.2 batch architecture as a subsystem: every expensive unit
+of work — a quantum fold, an AF2/AF3-like baseline fold, a 20-seed docking
+search — is a typed spec (:mod:`repro.engine.jobs`) streamed through one
+:class:`Engine`.  The engine
 
-* resolves the execution backend by name through the registry,
-* deduplicates identical jobs within a batch,
+* resolves each spec's executor by kind through the registry
+  (:func:`~repro.engine.registry.executor_for`) and the quantum execution
+  backend by name (:func:`~repro.engine.registry.make_backend`),
+* deduplicates identical jobs within a batch (kinds cannot collide: the
+  kind's schema version leads every content hash),
 * serves previously computed jobs from the persistent result cache,
 * fans the remaining jobs out over a process pool (``utils/parallel``), and
 * gathers results in submission order.
 
-Determinism: every job derives its VQE seed from the master seed plus its own
-identity (``utils/rng.child_seed``), never from worker assignment, so results
-are bit-identical for any worker count and any cache state.
+Determinism: every job derives its seeds from the master seed plus its own
+identity (``utils/rng.child_seed`` — the VQE seed from the fragment identity,
+each docking run's seed from the receptor identity and run index), never from
+worker assignment, so results are bit-identical for any worker count and any
+cache state.
 """
 
 from __future__ import annotations
@@ -26,8 +31,21 @@ import numpy as np
 
 from repro.config import PipelineConfig
 from repro.engine.cache import ResultCache
-from repro.engine.jobs import JobResult, JobSpec
-from repro.engine.registry import registry_snapshot, restore_registry
+from repro.engine.jobs import (
+    BaselineFoldSpec,
+    DockJobResult,
+    DockSpec,
+    JobResult,
+    JobSpec,
+    result_from_payload,
+)
+from repro.engine.registry import (
+    executor_for,
+    executor_snapshot,
+    register_executor,
+    registry_snapshot,
+    restore_registries,
+)
 from repro.folding.predictor import FoldingPrediction, fold_fragment
 from repro.lattice.hamiltonian import HamiltonianWeights
 from repro.utils.logging import get_logger
@@ -36,29 +54,29 @@ from repro.utils.parallel import parallel_map
 logger = get_logger(__name__)
 
 
-def _picklable_registry() -> dict:
-    """The registered backend builders that can ship to worker processes.
+def _picklable(mapping: dict, what: str) -> dict:
+    """The registry entries that can ship to worker processes.
 
-    Unpicklable builders (lambdas, closures) are dropped with a warning rather
+    Unpicklable entries (lambdas, closures) are dropped with a warning rather
     than failing the whole fan-out: they only matter if a job actually selects
-    them, in which case the worker raises a clear unknown-backend error.
+    them, in which case the worker raises a clear lookup error.
     """
-    builders = {}
-    for name, builder in registry_snapshot().items():
+    out = {}
+    for name, value in mapping.items():
         try:
-            pickle.dumps(builder)
+            pickle.dumps(value)
         except Exception:
             logger.warning(
-                "backend %r has an unpicklable builder; it will be unavailable "
-                "in engine worker processes", name,
+                "%s %r is unpicklable; it will be unavailable in engine worker processes",
+                what, name,
             )
             continue
-        builders[name] = builder
-    return builders
+        out[name] = value
+    return out
 
 
-def execute_job(spec: JobSpec) -> JobResult:
-    """Run one fold job to completion (module-level so it pickles to workers)."""
+def execute_fold_job(spec: JobSpec) -> JobResult:
+    """Run one quantum fold job to completion (the ``fold`` executor)."""
     prediction, coords = fold_fragment(
         spec.pdb_id,
         spec.sequence,
@@ -77,18 +95,67 @@ def execute_job(spec: JobSpec) -> JobResult:
     )
 
 
+def execute_baseline_job(spec: BaselineFoldSpec) -> JobResult:
+    """Run one baseline fold job (the ``baseline_fold`` executor)."""
+    from repro.folding.baselines import baseline_fold_fragment
+
+    prediction, coords = baseline_fold_fragment(
+        spec.method,
+        spec.pdb_id,
+        spec.sequence,
+        config=spec.config,
+        start_seq_id=spec.start_seq_id,
+    )
+    return JobResult(
+        spec_hash=spec.content_hash(),
+        pdb_id=prediction.pdb_id,
+        sequence=prediction.sequence,
+        prediction=prediction,
+        conformation_coords=np.asarray(coords, dtype=float),
+        start_seq_id=spec.start_seq_id,
+        kind="baseline_fold",
+    )
+
+
+def execute_dock_job(spec: DockSpec) -> DockJobResult:
+    """Run one docking job (the ``dock`` executor)."""
+    from repro.docking.vina import dock_structure
+
+    docking = dock_structure(
+        spec.receptor, spec.ligand, config=spec.config, receptor_id=spec.receptor_id
+    )
+    return DockJobResult(
+        spec_hash=spec.content_hash(),
+        pdb_id=spec.pdb_id,
+        receptor_id=spec.receptor_id,
+        docking=docking,
+    )
+
+
+register_executor("fold", execute_fold_job)
+register_executor("baseline_fold", execute_baseline_job)
+register_executor("dock", execute_dock_job)
+
+
+def execute_job(spec) -> JobResult | DockJobResult:
+    """Run one job of any registered kind (module-level so it pickles to workers)."""
+    return executor_for(getattr(spec, "kind", "fold"))(spec)
+
+
 class Engine:
-    """Single entry point for fold job execution.
+    """Single entry point for job execution across all kinds.
 
     Parameters
     ----------
     config:
         Default pipeline configuration for jobs built by the convenience
-        helpers; also supplies ``engine_workers`` and ``cache_dir`` defaults.
+        helpers; also supplies ``engine_workers``, ``cache_dir`` and the cache
+        size-bound (``cache_max_bytes`` / ``cache_eviction``) defaults.
     cache:
         A :class:`ResultCache`, a directory path, or ``None``.  ``None`` falls
         back to ``config.cache_dir`` (and disables caching when that is also
-        ``None``).
+        ``None``).  Paths are opened with the config's size bound and
+        eviction policy.
     processes:
         Default worker-process count for :meth:`run`; ``None`` uses
         ``config.engine_workers``.  ``0``/``1`` executes serially.
@@ -104,11 +171,16 @@ class Engine:
         if cache is None and self.config.cache_dir:
             cache = self.config.cache_dir
         if isinstance(cache, (str, Path)):
-            cache = ResultCache(cache)
+            cache = ResultCache(
+                cache,
+                max_bytes=self.config.cache_max_bytes,
+                eviction=self.config.cache_eviction,
+            )
         self.cache = cache
         self.processes = self.config.engine_workers if processes is None else int(processes)
         self.executed_jobs = 0
         self.completed_jobs = 0
+        self.executed_by_kind: dict[str, int] = {}
 
     # -- job construction -----------------------------------------------------------
 
@@ -120,7 +192,7 @@ class Engine:
         register: str = "configuration",
         start_seq_id: int = 1,
     ) -> JobSpec:
-        """Build a :class:`JobSpec` against this engine's configuration."""
+        """Build a quantum-fold :class:`JobSpec` against this engine's configuration."""
         return JobSpec(
             pdb_id=pdb_id,
             sequence=str(sequence),
@@ -130,10 +202,32 @@ class Engine:
             start_seq_id=start_seq_id,
         )
 
+    def baseline_spec(
+        self, pdb_id: str, sequence: str, method: str, start_seq_id: int = 1
+    ) -> BaselineFoldSpec:
+        """Build a :class:`BaselineFoldSpec` against this engine's configuration."""
+        return BaselineFoldSpec(
+            pdb_id=pdb_id,
+            sequence=str(sequence),
+            method=method,
+            config=self.config,
+            start_seq_id=start_seq_id,
+        )
+
+    def dock_spec(self, pdb_id: str, receptor, ligand, receptor_id: str | None = None) -> DockSpec:
+        """Build a :class:`DockSpec` against this engine's configuration."""
+        return DockSpec(
+            pdb_id=pdb_id,
+            receptor_id=receptor_id or receptor.structure_id,
+            receptor=receptor,
+            ligand=ligand,
+            config=self.config,
+        )
+
     # -- execution -------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[JobSpec], processes: int | None = None) -> list[JobResult]:
-        """Execute ``jobs`` and return their results in submission order.
+    def run(self, jobs: Sequence[Any], processes: int | None = None) -> list[Any]:
+        """Execute ``jobs`` (any mix of kinds) and return results in submission order.
 
         Cache hits and in-batch duplicates are filled without execution; the
         remaining jobs are scattered over ``processes`` workers (``None`` uses
@@ -144,8 +238,8 @@ class Engine:
             return []
         processes = self.processes if processes is None else int(processes)
 
-        results: list[JobResult | None] = [None] * len(jobs)
-        pending: list[tuple[int, JobSpec, str]] = []
+        results: list[Any] = [None] * len(jobs)
+        pending: list[tuple[int, Any, str]] = []
         first_pending: dict[str, int] = {}
         duplicates: list[tuple[int, str]] = []
 
@@ -156,7 +250,7 @@ class Engine:
                 continue
             payload = self.cache.get(key) if self.cache is not None else None
             if payload is not None:
-                results[i] = JobResult.from_payload(payload)
+                results[i] = result_from_payload(payload)
             else:
                 first_pending[key] = i
                 pending.append((i, job, key))
@@ -167,18 +261,23 @@ class Engine:
                 len(pending), len(jobs), len(jobs) - len(pending) - len(duplicates),
                 len(duplicates), max(1, processes),
             )
-            # Replicate runtime backend registrations into the workers: under
-            # spawn/forkserver start methods a fresh interpreter only sees the
-            # built-in backends.
+            # Replicate runtime backend/executor registrations into the
+            # workers: under spawn/forkserver start methods a fresh
+            # interpreter only sees the built-in entries.
             fresh = parallel_map(
                 execute_job,
                 [job for _, job, _ in pending],
                 processes=processes,
-                initializer=restore_registry,
-                initargs=(_picklable_registry(),) if processes > 1 else (),
+                initializer=restore_registries,
+                initargs=(
+                    _picklable(registry_snapshot(), "backend"),
+                    _picklable(executor_snapshot(), "executor"),
+                ) if processes > 1 else (),
             )
-            for (i, _, key), result in zip(pending, fresh):
+            for (i, job, key), result in zip(pending, fresh):
                 results[i] = result
+                kind = getattr(job, "kind", "fold")
+                self.executed_by_kind[kind] = self.executed_by_kind.get(kind, 0) + 1
                 if self.cache is not None:
                     self.cache.put(key, result.to_payload())
             self.executed_jobs += len(pending)
@@ -191,7 +290,7 @@ class Engine:
 
         self.completed_jobs += len(jobs)
         assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
+        return results
 
     def fold(
         self,
@@ -208,9 +307,10 @@ class Engine:
     # -- reporting -------------------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Execution and cache counters (the cache-hit proof for tests/logs)."""
+        """Execution and cache counters (the hit/miss proof for tests/logs)."""
         return {
             "completed_jobs": self.completed_jobs,
             "executed_jobs": self.executed_jobs,
+            "executed_by_kind": dict(self.executed_by_kind),
             "cache": self.cache.stats.as_dict() if self.cache is not None else None,
         }

@@ -1,29 +1,89 @@
-"""Backend registry: execution backends constructed by name from the config.
+"""Backend and executor registries: execution strategy resolved by name.
 
 Call sites used to hand-wire simulator objects (``AutoBackend(...)``,
 ``EagleEmulatorBackend(...)``) wherever a circuit needed sampling.  The
-registry replaces that with a single factory, ``make_backend(name, config)``,
-so the backend is a *configuration choice* (``PipelineConfig.backend``) rather
-than code: the same pipeline runs on the exact statevector simulator, the MPS
-engine, the width-dispatching auto backend or the noisy Eagle emulator by
-changing one string.
+backend registry replaces that with a single factory,
+``make_backend(name, config)``, so the backend is a *configuration choice*
+(``PipelineConfig.backend``) rather than code: the same pipeline runs on the
+exact statevector simulator, the MPS engine, the width-dispatching auto
+backend or the noisy Eagle emulator by changing one string.
 
-Third-party backends can be added at runtime with :func:`register_backend`;
-builders receive the :class:`~repro.config.PipelineConfig` and pull whatever
-knobs they need from it.
+The *executor registry* is the same idea one level up: every job kind
+(``fold``, ``baseline_fold``, ``dock`` — see :mod:`repro.engine.jobs`) maps to
+the module-level function that executes one spec of that kind.
+:func:`repro.engine.core.execute_job` dispatches through it, which is what
+lets one :class:`~repro.engine.core.Engine` run a heterogeneous batch.
+
+Third-party backends and executors can be added at runtime with
+:func:`register_backend` / :func:`register_executor`; backend builders receive
+the :class:`~repro.config.PipelineConfig` and pull whatever knobs they need
+from it.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.config import PipelineConfig
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, EngineError
 from repro.quantum.backend import AutoBackend, Backend, MPSBackend, StatevectorBackend
 
 BackendBuilder = Callable[[PipelineConfig], Backend]
 
+#: A job executor: one spec of the registered kind in, its result out.
+JobExecutor = Callable[[Any], Any]
+
 _REGISTRY: dict[str, BackendBuilder] = {}
+
+_EXECUTORS: dict[str, JobExecutor] = {}
+
+
+def register_executor(kind: str, executor: JobExecutor, overwrite: bool = False) -> None:
+    """Register the executor function for one job ``kind``.
+
+    Raises :class:`EngineError` if the kind is already taken, unless
+    ``overwrite`` is set.  Like backend builders, executors must be picklable
+    module-level functions for parallel runs to ship them to workers.
+    """
+    key = kind.strip().lower()
+    if not key:
+        raise EngineError("job kind must be a non-empty string")
+    if key in _EXECUTORS and not overwrite:
+        raise EngineError(f"executor for job kind {key!r} is already registered")
+    _EXECUTORS[key] = executor
+
+
+def executor_kinds() -> tuple[str, ...]:
+    """The job kinds currently registered, sorted alphabetically."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def executor_for(kind: str) -> JobExecutor:
+    """The executor registered for ``kind`` (raising a clear error when absent).
+
+    Normalised the same way :func:`register_executor` stores kinds, so a
+    mixed-case kind resolves to its registration.
+    """
+    executor = _EXECUTORS.get(kind.strip().lower())
+    if executor is None:
+        raise EngineError(
+            f"no executor registered for job kind {kind!r}; "
+            f"registered kinds: {', '.join(executor_kinds())}"
+        )
+    return executor
+
+
+def executor_snapshot() -> dict[str, JobExecutor]:
+    """A copy of the current executor registry (shipped to worker processes)."""
+    return dict(_EXECUTORS)
+
+
+def restore_registries(
+    backends: dict[str, BackendBuilder], executors: dict[str, JobExecutor]
+) -> None:
+    """Merge both registries into this process (worker-process initializer)."""
+    _REGISTRY.update(backends)
+    _EXECUTORS.update(executors)
 
 
 def register_backend(name: str, builder: BackendBuilder, overwrite: bool = False) -> None:

@@ -19,6 +19,18 @@ on short, context-free fragments:
 The output is a full-backbone, centred structure exactly like the quantum
 pipeline produces, so the downstream docking / RMSD evaluation treats every
 method identically.
+
+Engine-job entry point
+----------------------
+Baseline folds are first-class engine jobs (``kind="baseline_fold"``, see
+:class:`repro.engine.jobs.BaselineFoldSpec`): :func:`baseline_fold_fragment`
+is the module-level executor entry point — it resolves the method name
+(``"AF2"`` / ``"AF3"``) through :data:`BASELINE_PREDICTORS`, runs the blend
+against a reference generator keyed on ``config.seed``, and returns the
+prediction together with the blended Cα trace.  That trace is what the
+engine's persistent cache stores; :meth:`repro.engine.jobs.JobResult`
+re-derives the full structure from it deterministically, so a cache hit is
+bit-identical to a fresh baseline prediction.
 """
 
 from __future__ import annotations
@@ -31,6 +43,8 @@ from repro.bio.amino_acids import get as get_aa
 from repro.bio.geometry import superimpose
 from repro.bio.reference import ReferenceStructureGenerator
 from repro.bio.sequence import ProteinSequence
+from repro.config import PipelineConfig
+from repro.exceptions import EngineError
 from repro.folding.predictor import FoldingPrediction
 from repro.lattice.reconstruction import reconstruct_structure
 from repro.utils.rng import rng_for
@@ -125,6 +139,18 @@ class PriorBiasedPredictor:
 
     def predict(self, pdb_id: str, sequence: ProteinSequence | str, start_seq_id: int = 1) -> FoldingPrediction:
         """Predict one fragment with this baseline's accuracy profile."""
+        prediction, _ = self.predict_with_coords(pdb_id, sequence, start_seq_id=start_seq_id)
+        return prediction
+
+    def predict_with_coords(
+        self, pdb_id: str, sequence: ProteinSequence | str, start_seq_id: int = 1
+    ) -> tuple[FoldingPrediction, np.ndarray]:
+        """Predict one fragment and also return the blended Cα trace.
+
+        The trace is the minimal datum the engine's result cache persists:
+        re-running the (deterministic) reconstruction over it reproduces the
+        returned structure exactly.
+        """
         seq = sequence if isinstance(sequence, ProteinSequence) else ProteinSequence(str(sequence))
         reference = self.reference_generator.generate(pdb_id, seq, start_seq_id=start_seq_id)
         prior_weight, noise_sigma = self.profile.parameters_for_length(len(seq))
@@ -151,13 +177,14 @@ class PriorBiasedPredictor:
             "noise_sigma": noise_sigma,
             "prior_type": "helix" if np.mean([_HELIX_PROPENSITY[c] for c in str(seq)]) >= 1.0 else "extended",
         }
-        return FoldingPrediction(
+        prediction = FoldingPrediction(
             pdb_id=pdb_id.lower(),
             sequence=str(seq),
             method=self.method_name,
             structure=structure,
             metadata=metadata,
         )
+        return prediction, blended
 
     def predict_many(self, fragments: list[tuple[str, str]]) -> list[FoldingPrediction]:
         """Predict a batch of ``(pdb_id, sequence)`` fragments serially."""
@@ -202,3 +229,38 @@ class AF3LikePredictor(PriorBiasedPredictor):
             reference_generator=reference_generator,
             master_seed=master_seed,
         )
+
+
+#: Baseline predictors by method name — the registry the engine's
+#: ``baseline_fold`` jobs resolve their method through.
+BASELINE_PREDICTORS: dict[str, type[PriorBiasedPredictor]] = {
+    AF2LikePredictor.method_name: AF2LikePredictor,
+    AF3LikePredictor.method_name: AF3LikePredictor,
+}
+
+
+def baseline_fold_fragment(
+    method: str,
+    pdb_id: str,
+    sequence: ProteinSequence | str,
+    config: PipelineConfig | None = None,
+    start_seq_id: int = 1,
+    reference_generator: ReferenceStructureGenerator | None = None,
+) -> tuple[FoldingPrediction, np.ndarray]:
+    """Run one baseline fold (the engine's ``baseline_fold`` job executor).
+
+    Resolves ``method`` through :data:`BASELINE_PREDICTORS` and predicts with
+    a reference generator keyed on ``config.seed`` (the same keying the
+    dataset batch pipeline uses), so the result depends only on the fragment
+    identity, the method and the master seed.  Returns the prediction plus
+    the blended Cα trace the persistent cache stores.
+    """
+    config = config or PipelineConfig()
+    predictor_cls = BASELINE_PREDICTORS.get(method)
+    if predictor_cls is None:
+        raise EngineError(
+            f"unknown baseline method {method!r}; available: {sorted(BASELINE_PREDICTORS)}"
+        )
+    generator = reference_generator or ReferenceStructureGenerator(master_seed=config.seed)
+    predictor = predictor_cls(reference_generator=generator)
+    return predictor.predict_with_coords(pdb_id, sequence, start_seq_id=start_seq_id)

@@ -152,7 +152,9 @@ def test_result_cache_roundtrip_and_stats(tmp_path, engine_config):
     restored = JobResult.from_payload(cache.get(key))
     assert restored.from_cache
     assert _structures_identical(restored.prediction, result.prediction)
-    assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "writes": 1, "hit_rate": 0.5}
+    assert cache.stats.as_dict() == {
+        "hits": 1, "misses": 1, "writes": 1, "evictions": 0, "hit_rate": 0.5,
+    }
     assert cache.clear() == 1
     assert cache.get(key) is None
 
@@ -179,7 +181,9 @@ def test_engine_warm_cache_performs_zero_vqe_executions(tmp_path, engine_config)
     cold = engine.run(specs)
     stats = engine.stats()
     assert stats["executed_jobs"] == 2
-    assert stats["cache"] == {"hits": 0, "misses": 2, "writes": 2, "hit_rate": 0.0}
+    assert stats["cache"] == {
+        "hits": 0, "misses": 2, "writes": 2, "evictions": 0, "hit_rate": 0.0,
+    }
     assert not any(r.from_cache for r in cold)
 
     warm = engine.run(specs)

@@ -1,0 +1,353 @@
+"""Tests for the typed job family: baseline folds and docking as engine jobs,
+cross-kind hashing, LRU cache bounds, and the warm-cache batch guarantee."""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.bio.reference import ReferenceStructureGenerator
+from repro.config import PipelineConfig
+from repro.dataset.batch import BatchProcessor
+from repro.dataset.builder import DatasetBuilder
+from repro.docking.ligand import SyntheticLigandGenerator
+from repro.docking.vina import dock_structure
+from repro.engine import (
+    BaselineFoldSpec,
+    DockSpec,
+    Engine,
+    JobSpec,
+    ResultCache,
+    executor_kinds,
+)
+from repro.exceptions import EngineError
+from repro.folding.baselines import AF2LikePredictor, baseline_fold_fragment
+
+
+@pytest.fixture(scope="module")
+def job_config() -> PipelineConfig:
+    """A minimal configuration keeping fold and dock jobs cheap."""
+    return PipelineConfig(
+        vqe_iterations=6,
+        optimisation_shots=32,
+        final_shots=64,
+        ansatz_reps=1,
+        docking_seeds=2,
+        docking_poses=3,
+        docking_mc_steps=30,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def dock_inputs(job_config):
+    """A (reference, ligand) pair for docking-job tests."""
+    reference = ReferenceStructureGenerator(master_seed=job_config.seed).generate("3eax", "RYRDV")
+    ligand = SyntheticLigandGenerator(master_seed=job_config.seed).generate(reference)
+    return reference, ligand
+
+
+def _dock_spec(job_config, dock_inputs, config=None, receptor_id="3eax:QDock") -> DockSpec:
+    reference, ligand = dock_inputs
+    return DockSpec(
+        pdb_id="3eax",
+        receptor_id=receptor_id,
+        receptor=reference.structure,
+        ligand=ligand,
+        config=config or job_config,
+    )
+
+
+# -- executor registry ---------------------------------------------------------------
+
+
+def test_all_builtin_kinds_have_executors():
+    assert {"fold", "baseline_fold", "dock"} <= set(executor_kinds())
+
+
+def test_unknown_baseline_method_raises(job_config):
+    with pytest.raises(EngineError):
+        baseline_fold_fragment("AF9", "3eax", "RYRDV", config=job_config)
+
+
+# -- cross-kind hashing --------------------------------------------------------------
+
+
+def test_cross_kind_hashes_do_not_collide(job_config, dock_inputs):
+    fold = JobSpec(pdb_id="3eax", sequence="RYRDV", config=job_config)
+    af2 = BaselineFoldSpec(pdb_id="3eax", sequence="RYRDV", method="AF2", config=job_config)
+    af3 = BaselineFoldSpec(pdb_id="3eax", sequence="RYRDV", method="AF3", config=job_config)
+    dock = _dock_spec(job_config, dock_inputs)
+    hashes = [spec.content_hash() for spec in (fold, af2, af3, dock)]
+    assert len(set(hashes)) == 4
+
+
+def test_baseline_hash_covers_baseline_knobs_only(job_config):
+    base = BaselineFoldSpec(pdb_id="3eax", sequence="RYRDV", method="AF2", config=job_config)
+    # VQE and docking knobs must not invalidate cached baseline folds ...
+    for irrelevant in (
+        job_config.with_updates(vqe_iterations=99),
+        job_config.with_updates(docking_seeds=99),
+        job_config.with_updates(engine_workers=8),
+    ):
+        assert (
+            BaselineFoldSpec("3eax", "RYRDV", method="AF2", config=irrelevant).content_hash()
+            == base.content_hash()
+        )
+    # ... while the master seed and identity must.
+    assert (
+        BaselineFoldSpec("3eax", "RYRDV", method="AF2", config=job_config.with_updates(seed=12)).content_hash()
+        != base.content_hash()
+    )
+    assert (
+        BaselineFoldSpec("3ckz", "RYRDV", method="AF2", config=job_config).content_hash()
+        != base.content_hash()
+    )
+
+
+def test_dock_hash_covers_dock_knobs_and_inputs(job_config, dock_inputs):
+    base = _dock_spec(job_config, dock_inputs)
+    # VQE knobs must not invalidate cached docking searches ...
+    for irrelevant in (
+        job_config.with_updates(vqe_iterations=99),
+        job_config.with_updates(final_shots=9999),
+        job_config.with_updates(cache_dir="/somewhere/else"),
+    ):
+        assert _dock_spec(job_config, dock_inputs, config=irrelevant).content_hash() == base.content_hash()
+    # ... while the docking protocol, receptor identity and receptor content must.
+    for relevant in (
+        job_config.with_updates(docking_seeds=3),
+        job_config.with_updates(docking_mc_steps=31),
+        job_config.with_updates(seed=12),
+    ):
+        assert _dock_spec(job_config, dock_inputs, config=relevant).content_hash() != base.content_hash()
+    assert (
+        _dock_spec(job_config, dock_inputs, receptor_id="3eax:AF2").content_hash()
+        != base.content_hash()
+    )
+    reference, ligand = dock_inputs
+    moved = reference.structure.copy()
+    moved.atoms[0].coords[0] += 0.5
+    other = DockSpec(
+        pdb_id="3eax", receptor_id="3eax:QDock", receptor=moved, ligand=ligand, config=job_config
+    )
+    assert other.content_hash() != base.content_hash()
+
+
+# -- baseline jobs through the engine ------------------------------------------------
+
+
+def test_baseline_job_cache_hit_miss_roundtrip(tmp_path, job_config):
+    engine = Engine(config=job_config, cache=tmp_path / "cache")
+    spec = engine.baseline_spec("3eax", "RYRDV", method="AF2")
+
+    cold = engine.run([spec])[0]
+    assert engine.stats()["executed_by_kind"] == {"baseline_fold": 1}
+    assert not cold.from_cache
+
+    fresh = Engine(config=job_config, cache=tmp_path / "cache")
+    warm = fresh.run([spec])[0]
+    assert fresh.stats()["executed_jobs"] == 0
+    assert warm.from_cache
+    assert warm.kind == "baseline_fold"
+    assert np.array_equal(
+        warm.prediction.structure.all_coords(), cold.prediction.structure.all_coords()
+    )
+    assert warm.prediction.metadata == cold.prediction.metadata
+
+    # The engine result equals a direct predictor call with the same seeding.
+    direct = AF2LikePredictor(
+        reference_generator=ReferenceStructureGenerator(master_seed=job_config.seed)
+    ).predict("3eax", "RYRDV")
+    assert np.array_equal(
+        warm.prediction.structure.all_coords(), direct.structure.all_coords()
+    )
+
+
+# -- dock jobs through the engine ----------------------------------------------------
+
+
+def test_dock_job_cache_hit_miss_roundtrip(tmp_path, job_config, dock_inputs):
+    engine = Engine(config=job_config, cache=tmp_path / "cache")
+    spec = _dock_spec(job_config, dock_inputs)
+
+    cold = engine.run([spec])[0]
+    assert engine.stats()["executed_by_kind"] == {"dock": 1}
+    assert not cold.from_cache
+    assert len(cold.docking.runs) == job_config.docking_seeds
+
+    fresh = Engine(config=job_config, cache=tmp_path / "cache")
+    warm = fresh.run([spec])[0]
+    assert fresh.stats()["executed_jobs"] == 0
+    assert warm.from_cache
+    assert warm.kind == "dock"
+    # The cached summary replays the search bit-identically.
+    assert warm.docking.as_dict() == cold.docking.as_dict()
+    assert warm.docking.mean_best_affinity == cold.docking.mean_best_affinity
+
+    # And matches a direct in-process docking run.
+    reference, ligand = dock_inputs
+    direct = dock_structure(reference.structure, ligand, config=job_config, receptor_id="3eax:QDock")
+    assert warm.docking.as_dict() == direct.as_dict()
+
+
+def test_mixed_kind_batch_dedups_and_orders(tmp_path, job_config, dock_inputs):
+    engine = Engine(config=job_config, cache=tmp_path / "cache")
+    dock = _dock_spec(job_config, dock_inputs)
+    af2 = engine.baseline_spec("3eax", "RYRDV", method="AF2")
+    results = engine.run([af2, dock, af2])
+    assert engine.stats()["executed_by_kind"] == {"baseline_fold": 1, "dock": 1}
+    assert results[0].kind == "baseline_fold"
+    assert results[1].kind == "dock"
+    assert np.array_equal(
+        results[2].prediction.structure.all_coords(),
+        results[0].prediction.structure.all_coords(),
+    )
+
+
+# -- cache size bounds ---------------------------------------------------------------
+
+
+def _fake_payload(key: str, pad: int) -> dict:
+    return {"spec_hash": key, "schema": "fold/v1", "pad": "x" * pad}
+
+
+def _keys(n: int) -> list[str]:
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+def test_cache_enforces_size_bound_on_put(tmp_path):
+    keys = _keys(10)
+    probe = ResultCache(tmp_path)
+    probe.put(keys[0], _fake_payload(keys[0], 256))
+    entry_size = probe.entries()[0].size_bytes
+
+    bound = int(3.5 * entry_size)
+    cache = ResultCache(tmp_path, max_bytes=bound)
+    for key in keys[1:]:
+        cache.put(key, _fake_payload(key, 256))
+    assert cache.total_bytes() <= bound
+    assert len(cache) == 3
+    assert cache.stats.evictions == len(keys) - 3
+    # The newest writes survive.
+    assert keys[-1] in cache and keys[-2] in cache and keys[-3] in cache
+
+
+def test_lru_eviction_keeps_recently_used_entries(tmp_path):
+    k1, k2, k3 = _keys(3)
+    probe = ResultCache(tmp_path / "lru")
+    probe.put(k1, _fake_payload(k1, 128))
+    entry_size = probe.entries()[0].size_bytes
+
+    cache = ResultCache(tmp_path / "lru", max_bytes=int(2.5 * entry_size), eviction="lru")
+    cache.put(k2, _fake_payload(k2, 128))
+    time.sleep(0.02)
+    assert cache.get(k1) is not None  # refreshes k1; k2 becomes least recently used
+    time.sleep(0.02)
+    cache.put(k3, _fake_payload(k3, 128))
+    assert k1 in cache and k3 in cache
+    assert k2 not in cache
+
+
+def test_fifo_eviction_ignores_access_recency(tmp_path):
+    k1, k2, k3 = _keys(3)
+    probe = ResultCache(tmp_path / "fifo")
+    probe.put(k1, _fake_payload(k1, 128))
+    entry_size = probe.entries()[0].size_bytes
+
+    cache = ResultCache(tmp_path / "fifo", max_bytes=int(2.5 * entry_size), eviction="fifo")
+    cache.put(k2, _fake_payload(k2, 128))
+    time.sleep(0.02)
+    assert cache.get(k1) is not None  # does NOT refresh under fifo
+    time.sleep(0.02)
+    cache.put(k3, _fake_payload(k3, 128))
+    assert k1 not in cache
+    assert k2 in cache and k3 in cache
+
+
+def test_cache_rejects_unknown_eviction_policy(tmp_path):
+    with pytest.raises(EngineError):
+        ResultCache(tmp_path, eviction="random")
+
+
+def test_prune_rejects_negative_bound(tmp_path):
+    cache = ResultCache(tmp_path)
+    with pytest.raises(EngineError):
+        cache.prune(-1)
+
+
+def test_verify_delete_removes_misrenamed_files(tmp_path):
+    k1, k2 = _keys(2)
+    cache = ResultCache(tmp_path)
+    cache.put(k1, _fake_payload(k1, 64))
+    cache.put(k2, _fake_payload(k2, 64))
+    # Rename k2's file to a key whose canonical shard is elsewhere: the entry
+    # is corrupt (stem != spec_hash) and deleting via _path(stem) would miss
+    # the actual file — verify must unlink the path it scanned.
+    i = 0
+    while True:
+        k3 = hashlib.sha256(f"other{i}".encode()).hexdigest()
+        if k3[:2] != k2[:2]:
+            break
+        i += 1
+    misrenamed = cache._path(k2).parent / f"{k3}.json"
+    cache._path(k2).rename(misrenamed)
+    valid, corrupt = cache.verify(delete=True)
+    assert valid == sorted([k1])
+    assert [key for key, _ in corrupt] == [k3]
+    assert not misrenamed.exists()  # the scanned file itself was deleted
+    assert cache.verify() == ([k1], [])
+
+
+def test_cache_verify_flags_and_deletes_corruption(tmp_path):
+    k1, k2 = _keys(2)
+    cache = ResultCache(tmp_path)
+    cache.put(k1, _fake_payload(k1, 64))
+    cache.put(k2, _fake_payload(k2, 64))
+    valid, corrupt = cache.verify()
+    assert sorted(valid) == sorted([k1, k2]) and corrupt == []
+
+    cache._path(k2).write_text("{ torn write")
+    valid, corrupt = cache.verify()
+    assert valid == [k1] or sorted(valid) == [k1]
+    assert [key for key, _ in corrupt] == [k2]
+
+    cache.verify(delete=True)
+    assert k2 not in cache
+    assert cache.verify() == ([k1], [])
+
+
+# -- the warm-cache batch guarantee (acceptance criterion) ---------------------------
+
+
+def test_build_entries_warm_cache_runs_zero_vqe_and_zero_docking(tmp_path, job_config):
+    config = job_config.with_updates(cache_dir=str(tmp_path / "cache"))
+    fragments = DatasetBuilder.select_fragments(pdb_ids=["3eax", "1e2k"])
+
+    cold_engine = Engine(config=config)
+    cold = BatchProcessor(config=config, engine=cold_engine).build_entries(fragments)
+    cold_stats = cold_engine.stats()
+    assert cold_stats["executed_by_kind"] == {"fold": 2, "baseline_fold": 4, "dock": 6}
+
+    # A brand-new engine over the same cache executes nothing at all.
+    warm_engine = Engine(config=config)
+    warm = BatchProcessor(config=config, engine=warm_engine).build_entries(fragments)
+    warm_stats = warm_engine.stats()
+    assert warm_stats["executed_jobs"] == 0
+    assert warm_stats["executed_by_kind"] == {}
+    assert warm_stats["cache"]["hits"] == 12
+    assert warm_stats["cache"]["misses"] == 0
+
+    # Warm-cache entries are bit-identical to the cold build.
+    for a, b in zip(cold, warm):
+        assert a.metrics_record() == b.metrics_record()
+        for method in ("QDock", "AF2", "AF3"):
+            assert (
+                a.evaluations[method].docking_summary == b.evaluations[method].docking_summary
+            )
+        assert np.array_equal(
+            a.predicted_structure.all_coords(), b.predicted_structure.all_coords()
+        )
