@@ -2,7 +2,8 @@
 
 Kept as a plain setup.py (no PEP 517 build isolation required) so
 ``pip install -e .`` works offline.  Installs the ``repro`` package from
-``src/`` and the ``repro-cache`` console tool (:mod:`repro.cli.cache`).
+``src/`` and the ``repro-cache`` / ``repro-session`` console tools
+(:mod:`repro.cli.cache`, :mod:`repro.cli.session`).
 """
 from setuptools import find_packages, setup
 
@@ -17,6 +18,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-cache=repro.cli.cache:main",
+            "repro-session=repro.cli.session:main",
         ],
     },
 )

@@ -1,7 +1,11 @@
 """Command-line tools for the QDockBank reproduction.
 
-Currently one tool: ``repro-cache`` (:mod:`repro.cli.cache`), the maintenance
-interface to the engine's persistent result cache.  Installed as a console
-script by ``setup.py``; also runnable without installation as
-``python -m repro.cli.cache``.
+Two tools, installed as console scripts by ``setup.py`` (and runnable without
+installation as ``python -m repro.cli.<name>``):
+
+* ``repro-cache`` (:mod:`repro.cli.cache`) — the maintenance interface to the
+  engine's persistent result cache (ls/stats/prune/verify);
+* ``repro-session`` (:mod:`repro.cli.session`) — the interface to the
+  engine's streaming-session journals (ls/status/resume of interrupted
+  sweeps).
 """

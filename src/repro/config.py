@@ -68,6 +68,18 @@ class PipelineConfig:
         default; a cache hit refreshes the entry, so the least-recently-used
         entries go first) or ``"fifo"`` (hits do not refresh, so the oldest
         written entries go first).
+    session_dir:
+        Directory for the engine's streaming-session journals (one JSONL
+        status file plus a spec pickle per session, next to the result
+        cache).  ``None`` (the default) disables journalling; sessions then
+        stream in memory only and cannot be resumed from another process.
+    on_error:
+        Default failure policy of streaming sessions: ``"isolate"`` (a
+        crashing job becomes a ``JobFailure`` record and the rest of the
+        batch completes; the default) or ``"raise"`` (the first failure
+        aborts the stream).  ``Engine.run`` keeps its historical fail-fast
+        contract regardless and must be asked explicitly to isolate.
+        Like all orchestration detail, neither knob enters any job hash.
     """
 
     vqe_iterations: int = 60
@@ -87,6 +99,8 @@ class PipelineConfig:
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
     cache_eviction: str = "lru"
+    session_dir: str | None = None
+    on_error: str = "isolate"
     #: CVaR fraction used by the stage-1 objective (1.0 = plain expectation).
     cvar_alpha: float = 0.2
     #: Cap applied to the width-scaled stage-2 shot count.

@@ -20,10 +20,18 @@ Against a warm cache the entire rebuild performs zero VQE executions and zero
 docking searches.  Results are deterministic for any worker count and any
 cache state because every stochastic component derives its seed from the
 master seed plus the work item's identity.
+
+Both engine phases run as *streaming sessions* (:meth:`Engine.submit`): an
+optional ``progress`` callback observes every job outcome as it completes,
+per-job status is journalled when ``config.session_dir`` is set (a crashed
+build re-run with the same inputs resumes its own journal), and — under the
+default ``on_error="isolate"`` — a crashing job drops only its own fragment
+from the entry list instead of aborting the whole build.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.bio.reference import ReferenceRecord, ReferenceStructureGenerator
@@ -34,13 +42,17 @@ from repro.dataset.fragments import Fragment
 from repro.docking.ligand import Ligand, SyntheticLigandGenerator
 from repro.docking.vina import DockingEngine, DockingResult
 from repro.engine.core import Engine
+from repro.engine.session import JobFailure
 from repro.folding.baselines import (
     BASELINE_PREDICTORS,
     AF2LikePredictor,
     AF3LikePredictor,
 )
 from repro.folding.predictor import FoldingPrediction, fold_fragment
+from repro.utils.logging import get_logger
 from repro.utils.parallel import ParallelExecutor
+
+logger = get_logger(__name__)
 
 #: Baseline methods evaluated next to the quantum prediction — derived from
 #: the predictor registry so a newly registered baseline is picked up here.
@@ -197,28 +209,58 @@ class BatchProcessor:
         self.executor = executor or ParallelExecutor(processes=0)
         self.engine = engine or Engine(config=self.config)
 
+    def _run_phase(
+        self, specs: list, phase: str, progress
+    ) -> list:
+        """Stream one phase's specs through an engine session.
+
+        The session id is derived from the phase name and the specs' content
+        hashes, so a crashed build re-run with the same fragments and
+        configuration resumes its own journal (when ``config.session_dir`` is
+        set) instead of starting over.
+        """
+        digest = hashlib.sha256(
+            "\x1f".join(spec.content_hash() for spec in specs).encode("utf-8")
+        ).hexdigest()
+        session = self.engine.submit(
+            specs,
+            session_id=f"build-{phase}-{digest[:12]}",
+            processes=self.executor.processes,
+            progress=progress,
+        )
+        return session.results()
+
     def build_entries(
         self,
         fragments: list[Fragment],
         keep_structures: bool = True,
         include_baselines: bool = True,
+        progress=None,
     ) -> list[QDockBankEntry]:
         """Build entries for ``fragments`` (order preserved).
 
-        All expensive work goes through the engine: phase 1 streams every
-        quantum and baseline fold, phase 2 streams every docking search
+        All expensive work streams through engine sessions: phase 1 streams
+        every quantum and baseline fold, phase 2 streams every docking search
         (three receptors per fragment when baselines are included), and
-        phase 3 assembles the entries in-process.
+        phase 3 assembles the entries in-process.  ``progress`` (an optional
+        callback receiving :class:`~repro.engine.session.SessionProgress`
+        events) observes every job outcome as it lands.
+
+        Failure isolation: under the engine's default
+        ``config.on_error="isolate"``, a crashing fold or docking job drops
+        only the fragment it belongs to — the entry list simply omits
+        fragments whose jobs failed (each is logged with the isolated
+        failure), while every other fragment completes.  With
+        ``on_error="raise"`` the first failure aborts the build.
         """
         methods = BASELINE_METHODS if include_baselines else ()
-        processes = self.executor.processes
         # One configuration governs every job and context in this build: the
         # engine's own (identical to self.config unless a caller wired a
         # differently-configured engine — jobs must hash against the config
         # they execute with).
         config = self.engine.config
 
-        # Phase 1: every fold — quantum and baseline — in one engine batch.
+        # Phase 1: every fold — quantum and baseline — in one engine session.
         fold_specs = [
             self.engine.spec(f.pdb_id, f.sequence, start_seq_id=f.residue_start)
             for f in fragments
@@ -230,42 +272,75 @@ class BatchProcessor:
             for f in fragments
             for method in methods
         ]
-        fold_results = self.engine.run([*fold_specs, *baseline_specs], processes=processes)
+        fold_results = self._run_phase([*fold_specs, *baseline_specs], "fold", progress)
         quantum = fold_results[: len(fragments)]
         baselines = fold_results[len(fragments):]
-        # predictions[i] lists (method, prediction) for fragment i, quantum first.
-        predictions: list[list[tuple[str, FoldingPrediction]]] = []
-        for i in range(len(fragments)):
-            per_fragment = [("QDock", quantum[i].prediction)]
-            for j, method in enumerate(methods):
-                per_fragment.append((method, baselines[i * len(methods) + j].prediction))
-            predictions.append(per_fragment)
 
-        # Phase 2: derive references/ligands, then every docking search
-        # through the engine (seeded per receptor identity and run index).
-        contexts = self.executor.map(
-            prepare_context, [_ContextTask(fragment=f, config=config) for f in fragments]
-        )
-        dock_specs = [
-            self.engine.dock_spec(
-                f.pdb_id,
-                prediction.structure,
-                contexts[i][1],
-                receptor_id=f"{f.pdb_id}:{method}",
-            )
-            for i, f in enumerate(fragments)
-            for method, prediction in predictions[i]
-        ]
-        dock_results = self.engine.run(dock_specs, processes=processes)
-        dock_iter = iter(dock_results)
-
-        # Phase 3: assemble the entries (cheap, in-process).
-        entries: list[QDockBankEntry] = []
+        # predictions[i] lists (method, prediction) for fragment i, quantum
+        # first; fragments with an isolated fold failure are skipped wholesale.
+        predictions: dict[int, list[tuple[str, FoldingPrediction]]] = {}
         for i, fragment in enumerate(fragments):
+            outcomes = [("QDock", quantum[i])]
+            for j, method in enumerate(methods):
+                outcomes.append((method, baselines[i * len(methods) + j]))
+            bad = [(m, o) for m, o in outcomes if isinstance(o, JobFailure)]
+            if bad:
+                for method, failure in bad:
+                    logger.warning(
+                        "skipping fragment %s: %s fold failed (%s: %s)",
+                        fragment.pdb_id, method, failure.error_type, failure.error_message,
+                    )
+                continue
+            predictions[i] = [(m, o.prediction) for m, o in outcomes]
+        alive = sorted(predictions)
+
+        # Phase 2: derive references/ligands for the surviving fragments, then
+        # every docking search through an engine session (seeded per receptor
+        # identity and run index).
+        contexts = dict(
+            zip(
+                alive,
+                self.executor.map(
+                    prepare_context,
+                    [_ContextTask(fragment=fragments[i], config=config) for i in alive],
+                ),
+            )
+        )
+        dock_specs = []
+        dock_owner: list[int] = []
+        for i in alive:
+            for method, prediction in predictions[i]:
+                dock_specs.append(
+                    self.engine.dock_spec(
+                        fragments[i].pdb_id,
+                        prediction.structure,
+                        contexts[i][1],
+                        receptor_id=f"{fragments[i].pdb_id}:{method}",
+                    )
+                )
+                dock_owner.append(i)
+        dock_results = self._run_phase(dock_specs, "dock", progress) if dock_specs else []
+        dockings: dict[int, list] = {i: [] for i in alive}
+        for i, outcome in zip(dock_owner, dock_results):
+            dockings[i].append(outcome)
+
+        # Phase 3: assemble the entries (cheap, in-process), skipping any
+        # fragment with an isolated docking failure.
+        entries: list[QDockBankEntry] = []
+        for i in alive:
+            fragment = fragments[i]
+            failures = [o for o in dockings[i] if isinstance(o, JobFailure)]
+            if failures:
+                for failure in failures:
+                    logger.warning(
+                        "skipping fragment %s: docking failed (%s: %s)",
+                        fragment.pdb_id, failure.error_type, failure.error_message,
+                    )
+                continue
             reference, _ligand = contexts[i]
             evaluated = [
-                (prediction, next(dock_iter).docking)
-                for _method, prediction in predictions[i]
+                (prediction, dock.docking)
+                for (_method, prediction), dock in zip(predictions[i], dockings[i])
             ]
             entries.append(_assemble_entry(fragment, reference, evaluated, keep_structures))
         return entries

@@ -89,14 +89,24 @@ class DatasetBuilder:
         fragments: list[Fragment] | None = None,
         include_baselines: bool = True,
         keep_structures: bool = True,
+        progress=None,
     ) -> QDockBank:
-        """Run the pipeline over ``fragments`` (default: all 55) and return the bank."""
+        """Run the pipeline over ``fragments`` (default: all 55) and return the bank.
+
+        ``progress`` is an optional callback receiving one
+        :class:`~repro.engine.session.SessionProgress` event per completed
+        engine job (fold, baseline fold or docking search) — the long-sweep
+        progress signal for CLIs and notebooks.
+        """
         fragments = list(fragments) if fragments is not None else list(PAPER_FRAGMENTS)
         if not fragments:
             raise DatasetError("no fragments selected for dataset construction")
         logger.info("building QDockBank for %d fragments", len(fragments))
         entries = self.processor.build_entries(
-            fragments, keep_structures=keep_structures, include_baselines=include_baselines
+            fragments,
+            keep_structures=keep_structures,
+            include_baselines=include_baselines,
+            progress=progress,
         )
         bank = QDockBank(entries=entries)
         logger.info("finished %d entries; engine stats: %s", len(bank), self.engine.stats())

@@ -13,11 +13,17 @@ folds and docking searches are one typed job family::
     results = engine.run(jobs, processes=4)
     print(engine.stats())   # executed_by_kind, cache hit/miss counters
 
+Long sweeps stream instead of blocking: ``engine.submit(jobs)`` returns a
+:class:`~repro.engine.session.Session` yielding ``(spec, outcome)`` pairs as
+they complete, with progress callbacks, journalled per-job status, isolated
+:class:`~repro.engine.session.JobFailure` records and crash/interrupt resume.
+
 See :mod:`repro.engine.core` for the execution model, :mod:`repro.engine.jobs`
-for the job kinds and content hashing, :mod:`repro.engine.registry` for named
-backends and per-kind executors, :mod:`repro.engine.cache` for the persistent
-(optionally LRU-bounded) store, and :mod:`repro.cli.cache` for the
-``repro-cache`` maintenance tool.
+for the job kinds and content hashing, :mod:`repro.engine.session` for
+sessions/journals/resume, :mod:`repro.engine.registry` for named backends and
+per-kind executors, :mod:`repro.engine.cache` for the persistent (optionally
+LRU-bounded) store, and :mod:`repro.cli.cache` / :mod:`repro.cli.session` for
+the ``repro-cache`` and ``repro-session`` maintenance tools.
 """
 
 from repro.engine.cache import CacheEntry, CacheStats, ResultCache
@@ -43,6 +49,13 @@ from repro.engine.registry import (
     register_backend,
     register_executor,
 )
+from repro.engine.session import (
+    SESSION_SCHEMA_VERSION,
+    JobFailure,
+    Session,
+    SessionJournal,
+    SessionProgress,
+)
 from repro.engine.core import (
     Engine,
     execute_baseline_job,
@@ -57,15 +70,20 @@ __all__ = [
     "ENGINE_SCHEMA_VERSION",
     "FOLD_SCHEMA_VERSION",
     "JOB_KINDS",
+    "SESSION_SCHEMA_VERSION",
     "BaselineFoldSpec",
     "CacheEntry",
     "CacheStats",
     "DockJobResult",
     "DockSpec",
     "Engine",
+    "JobFailure",
     "JobResult",
     "JobSpec",
     "ResultCache",
+    "Session",
+    "SessionJournal",
+    "SessionProgress",
     "backend_names",
     "config_fingerprint",
     "execute_baseline_job",

@@ -123,21 +123,33 @@ class ResultCache:
         misses rather than errors so a damaged cache degrades to recompute.
         Under the LRU policy a hit refreshes the entry's mtime.
         """
-        path = self._path(key)
-        try:
-            payload = read_json(path)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.stats.misses += 1
-            return None
-        if not isinstance(payload, dict) or payload.get("spec_hash") != key:
+        payload = self.peek(key)
+        if payload is None:
             self.stats.misses += 1
             return None
         if self.eviction == "lru":
             try:
-                os.utime(path)
+                os.utime(self._path(key))
             except OSError:
                 pass  # a concurrent prune may have removed the file; the payload is already read
         self.stats.hits += 1
+        return payload
+
+    def peek(self, key: str) -> dict[str, Any] | None:
+        """Stat-neutral :meth:`get`: no hit/miss counted, no LRU mtime refresh.
+
+        Used by the session layer's journal-aware planning — a resumed
+        session checks whether a journalled-complete job still has its cached
+        payload without skewing the hit-rate counters or the eviction order
+        of lookups the resumed run never asked for.
+        """
+        path = self._path(key)
+        try:
+            payload = read_json(path)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("spec_hash") != key:
+            return None
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:

@@ -14,6 +14,12 @@ search — is a typed spec (:mod:`repro.engine.jobs`) streamed through one
 * fans the remaining jobs out over a process pool (``utils/parallel``), and
 * gathers results in submission order.
 
+Execution is *streaming*: :meth:`Engine.submit` opens a
+:class:`~repro.engine.session.Session` that yields each ``(spec, outcome)``
+pair as it completes, journals per-job status for crash/interrupt resume, and
+isolates failing jobs as :class:`~repro.engine.session.JobFailure` records.
+:meth:`Engine.run` is the blocking wrapper over the same loop.
+
 Determinism: every job derives its seeds from the master seed plus its own
 identity (``utils/rng.child_seed`` — the VQE seed from the fragment identity,
 each docking run's seed from the receptor identity and run index), never from
@@ -37,21 +43,20 @@ from repro.engine.jobs import (
     DockSpec,
     JobResult,
     JobSpec,
-    result_from_payload,
 )
-from repro.engine.registry import (
-    executor_for,
-    executor_snapshot,
-    register_executor,
-    registry_snapshot,
-    restore_registries,
-)
+from repro.engine.registry import executor_for, register_executor
+from repro.engine.session import Session, SessionJournal, new_session_id
+from repro.exceptions import EngineError
 from repro.folding.predictor import FoldingPrediction, fold_fragment
 from repro.lattice.hamiltonian import HamiltonianWeights
 from repro.utils.logging import get_logger
-from repro.utils.parallel import parallel_map
 
 logger = get_logger(__name__)
+
+
+#: Registry entries already warned about as unpicklable — one warning per
+#: ``(registry, name)`` for the process lifetime, not one per fan-out.
+_PICKLE_WARNED: set[tuple[str, str]] = set()
 
 
 def _picklable(mapping: dict, what: str) -> dict:
@@ -59,17 +64,20 @@ def _picklable(mapping: dict, what: str) -> dict:
 
     Unpicklable entries (lambdas, closures) are dropped with a warning rather
     than failing the whole fan-out: they only matter if a job actually selects
-    them, in which case the worker raises a clear lookup error.
+    them, in which case the worker raises a clear lookup error.  The warning
+    fires once per entry name, not on every fan-out.
     """
     out = {}
     for name, value in mapping.items():
         try:
             pickle.dumps(value)
         except Exception:
-            logger.warning(
-                "%s %r is unpicklable; it will be unavailable in engine worker processes",
-                what, name,
-            )
+            if (what, name) not in _PICKLE_WARNED:
+                _PICKLE_WARNED.add((what, name))
+                logger.warning(
+                    "%s %r is unpicklable; it will be unavailable in engine worker processes",
+                    what, name,
+                )
             continue
         out[name] = value
     return out
@@ -180,6 +188,7 @@ class Engine:
         self.processes = self.config.engine_workers if processes is None else int(processes)
         self.executed_jobs = 0
         self.completed_jobs = 0
+        self.failed_jobs = 0
         self.executed_by_kind: dict[str, int] = {}
 
     # -- job construction -----------------------------------------------------------
@@ -226,71 +235,110 @@ class Engine:
 
     # -- execution -------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[Any], processes: int | None = None) -> list[Any]:
+    def submit(
+        self,
+        jobs: Sequence[Any] | None = None,
+        session_id: str | None = None,
+        processes: int | None = None,
+        on_error: str | None = None,
+        progress: Any = None,
+    ) -> Session:
+        """Open a streaming :class:`~repro.engine.session.Session` over ``jobs``.
+
+        The session yields ``(spec, outcome)`` pairs as they complete — cache
+        hits first, then pool completions — and, when ``config.session_dir``
+        is set, records per-job status to an on-disk journal so the batch is
+        resumable across processes.
+
+        Parameters
+        ----------
+        jobs:
+            The job specs.  May be ``None`` when resuming a journalled
+            session by ``session_id`` — the specs are then loaded from the
+            journal's spec pickle.
+        session_id:
+            Identifier of the session journal.  If a journal with this id
+            already exists under ``config.session_dir``, the session *resumes
+            it*: jobs marked completed are served from the result cache and
+            only failed / never-completed jobs execute.  ``None`` generates a
+            fresh id.
+        processes, progress:
+            Worker-process count (``None`` = engine default) and an optional
+            per-outcome callback receiving
+            :class:`~repro.engine.session.SessionProgress` events.
+        on_error:
+            ``"isolate"`` (failures become
+            :class:`~repro.engine.session.JobFailure` outcomes) or
+            ``"raise"`` (first failure aborts the stream).  ``None`` uses
+            ``config.on_error``.
+        """
+        if on_error is None:
+            on_error = self.config.on_error
+        journal = None
+        if self.config.session_dir:
+            root = Path(self.config.session_dir).expanduser()
+            if session_id is not None and SessionJournal.exists(root, session_id):
+                journal = SessionJournal.open(root, session_id)
+                if jobs is None:
+                    jobs = journal.load_specs()
+                else:
+                    jobs = list(jobs)
+                    if [job.content_hash() for job in jobs] != journal.spec_hashes:
+                        raise EngineError(
+                            f"session {session_id!r} already has a journal for a different "
+                            "job list; pick a new session_id or resume with matching jobs"
+                        )
+                journal.mark_resumed()
+                logger.info(
+                    "engine: resuming session %s (%d/%d jobs already completed)",
+                    session_id, len(journal.completed), len(set(journal.spec_hashes)),
+                )
+            else:
+                if jobs is None:
+                    raise EngineError(
+                        f"no jobs given and no journal for session {session_id!r} "
+                        f"under {root} to resume"
+                    )
+                jobs = list(jobs)
+                session_id = session_id or new_session_id()
+                journal = SessionJournal.create(root, session_id, jobs)
+        elif jobs is None:
+            raise EngineError(
+                "submit() needs jobs unless resuming a journalled session "
+                "(set config.session_dir to enable journals)"
+            )
+        return Session(
+            self,
+            jobs,
+            session_id=session_id,
+            journal=journal,
+            on_error=on_error,
+            progress=progress,
+            processes=processes,
+        )
+
+    def run(
+        self, jobs: Sequence[Any], processes: int | None = None, on_error: str = "raise"
+    ) -> list[Any]:
         """Execute ``jobs`` (any mix of kinds) and return results in submission order.
 
-        Cache hits and in-batch duplicates are filled without execution; the
-        remaining jobs are scattered over ``processes`` workers (``None`` uses
-        the engine default) and gathered back in order.
+        A thin blocking wrapper over the session loop: cache hits and
+        in-batch duplicates are filled without execution, the rest stream
+        over ``processes`` workers, and results gather in submission order.
+        The default ``on_error="raise"`` keeps the historical contract (the
+        first failure propagates); pass ``"isolate"`` to receive
+        :class:`~repro.engine.session.JobFailure` records in the result list
+        instead.
+
+        ``run`` never journals, even with ``config.session_dir`` set: a
+        one-shot blocking call has no id to resume by, and journalling it
+        would litter the session directory.  Use :meth:`submit` with a
+        ``session_id`` for resumable sweeps.
         """
         jobs = list(jobs)
         if not jobs:
             return []
-        processes = self.processes if processes is None else int(processes)
-
-        results: list[Any] = [None] * len(jobs)
-        pending: list[tuple[int, Any, str]] = []
-        first_pending: dict[str, int] = {}
-        duplicates: list[tuple[int, str]] = []
-
-        for i, job in enumerate(jobs):
-            key = job.content_hash()
-            if key in first_pending:
-                duplicates.append((i, key))
-                continue
-            payload = self.cache.get(key) if self.cache is not None else None
-            if payload is not None:
-                results[i] = result_from_payload(payload)
-            else:
-                first_pending[key] = i
-                pending.append((i, job, key))
-
-        if pending:
-            logger.info(
-                "engine: executing %d/%d jobs (%d cached, %d duplicate) on %d processes",
-                len(pending), len(jobs), len(jobs) - len(pending) - len(duplicates),
-                len(duplicates), max(1, processes),
-            )
-            # Replicate runtime backend/executor registrations into the
-            # workers: under spawn/forkserver start methods a fresh
-            # interpreter only sees the built-in entries.
-            fresh = parallel_map(
-                execute_job,
-                [job for _, job, _ in pending],
-                processes=processes,
-                initializer=restore_registries,
-                initargs=(
-                    _picklable(registry_snapshot(), "backend"),
-                    _picklable(executor_snapshot(), "executor"),
-                ) if processes > 1 else (),
-            )
-            for (i, job, key), result in zip(pending, fresh):
-                results[i] = result
-                kind = getattr(job, "kind", "fold")
-                self.executed_by_kind[kind] = self.executed_by_kind.get(kind, 0) + 1
-                if self.cache is not None:
-                    self.cache.put(key, result.to_payload())
-            self.executed_jobs += len(pending)
-
-        # In-batch duplicates of an executed job share its result object.
-        # (Duplicates of a cache hit never land here: their key is absent from
-        # ``first_pending``, so the second lookup simply hits the cache again.)
-        for i, key in duplicates:
-            results[i] = results[first_pending[key]].shallow_copy()
-
-        self.completed_jobs += len(jobs)
-        assert all(r is not None for r in results)
-        return results
+        return Session(self, jobs, on_error=on_error, processes=processes).results()
 
     def fold(
         self,
@@ -311,6 +359,7 @@ class Engine:
         return {
             "completed_jobs": self.completed_jobs,
             "executed_jobs": self.executed_jobs,
+            "failed_jobs": self.failed_jobs,
             "executed_by_kind": dict(self.executed_by_kind),
             "cache": self.cache.stats.as_dict() if self.cache is not None else None,
         }

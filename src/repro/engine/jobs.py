@@ -111,6 +111,39 @@ def _hash_parts(*parts: str) -> str:
     return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
 
+def _memoize_hash(spec: Any, compute: Any) -> str:
+    """Per-instance memo for ``content_hash``.
+
+    Specs are immutable by contract, and one submission needs the hash at
+    several layers (in-batch dedup, cache key, journal, session keys) —
+    for a :class:`DockSpec` each recomputation would re-digest the full
+    receptor and ligand.  Stored via ``object.__setattr__`` because the spec
+    dataclasses are frozen.
+    """
+    cached = spec.__dict__.get("_hash_memo")
+    if cached is None:
+        cached = compute()
+        object.__setattr__(spec, "_hash_memo", cached)
+    return cached
+
+
+class _DropHashMemoOnPickle:
+    """Excludes the content-hash memo from pickles.
+
+    Specs travel as pickles — to worker processes and into a session
+    journal's spec pickle.  A journal can outlive a code upgrade that bumps a
+    kind's schema version, and a memo baked into the pickle would then replay
+    the *old* schema's hash, matching stale cache payloads instead of
+    invalidating them.  Unpickled specs therefore always re-derive their hash
+    under the current schema versions.
+    """
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_hash_memo", None)
+        return state
+
+
 def structure_digest(structure) -> str:
     """Content digest of a :class:`~repro.bio.structure.Structure`.
 
@@ -143,7 +176,7 @@ def ligand_digest(ligand) -> str:
 
 
 @dataclass(frozen=True)
-class JobSpec:
+class JobSpec(_DropHashMemoOnPickle):
     """One quantum fold job: a fragment plus everything that determines its result."""
 
     pdb_id: str
@@ -163,7 +196,7 @@ class JobSpec:
         simulated register, the residue numbering and the fold-relevant
         configuration including the backend name.
         """
-        return _hash_parts(
+        return _memoize_hash(self, lambda: _hash_parts(
             FOLD_SCHEMA_VERSION,
             self.pdb_id.lower(),
             str(self.sequence),
@@ -171,11 +204,11 @@ class JobSpec:
             str(int(self.start_seq_id)),
             _weights_key(self.weights),
             config_fingerprint(self.config, _FOLD_CONFIG_FIELDS),
-        )
+        ))
 
 
 @dataclass(frozen=True)
-class BaselineFoldSpec:
+class BaselineFoldSpec(_DropHashMemoOnPickle):
     """One deep-learning-baseline fold job (AF2-like or AF3-like).
 
     ``method`` selects the accuracy profile by name (``"AF2"`` / ``"AF3"``,
@@ -194,18 +227,18 @@ class BaselineFoldSpec:
 
     def content_hash(self) -> str:
         """Deterministic SHA-256 content address of this baseline fold."""
-        return _hash_parts(
+        return _memoize_hash(self, lambda: _hash_parts(
             BASELINE_SCHEMA_VERSION,
             self.method,
             self.pdb_id.lower(),
             str(self.sequence),
             str(int(self.start_seq_id)),
             config_fingerprint(self.config, _BASELINE_CONFIG_FIELDS),
-        )
+        ))
 
 
 @dataclass(frozen=True, eq=False)
-class DockSpec:
+class DockSpec(_DropHashMemoOnPickle):
     """One docking job: a receptor structure, a ligand and the search knobs.
 
     The receptor and ligand travel *by value* (both are picklable), so a dock
@@ -224,14 +257,14 @@ class DockSpec:
 
     def content_hash(self) -> str:
         """Deterministic SHA-256 content address of this docking job."""
-        return _hash_parts(
+        return _memoize_hash(self, lambda: _hash_parts(
             DOCK_SCHEMA_VERSION,
             self.pdb_id.lower(),
             self.receptor_id,
             structure_digest(self.receptor),
             ligand_digest(self.ligand),
             config_fingerprint(self.config, _DOCK_CONFIG_FIELDS),
-        )
+        ))
 
 
 @dataclass

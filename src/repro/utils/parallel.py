@@ -19,7 +19,7 @@ The helpers here follow the idioms of the mpi4py / scientific-python guides:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
@@ -68,6 +68,53 @@ def parallel_map(
         chunk_size = max(1, len(items) // (processes * 4))
     with ProcessPoolExecutor(max_workers=processes, initializer=initializer, initargs=initargs) as pool:
         return list(pool.map(func, items, chunksize=chunk_size))
+
+
+def completion_stream(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    processes: int | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> Iterator[tuple[int, R | None, BaseException | None]]:
+    """Yield ``(index, result, exception)`` triples as items finish.
+
+    The incremental counterpart of :func:`parallel_map`, used by the engine's
+    streaming sessions: exactly one triple is yielded per item, with either
+    ``result`` or ``exception`` set.  With more than one process, triples
+    arrive in *completion* order (one future per item, no chunking); serially
+    they arrive in submission order, and an exception does not stop the
+    stream — isolation is the caller's policy decision.
+
+    Closing the generator early (``break`` in the consumer) cancels items that
+    have not started; items already running finish on their workers but are
+    never yielded.
+    """
+    items = list(items)
+    if not items:
+        return
+    if processes is None:
+        processes = default_worker_count()
+    if processes <= 1 or len(items) == 1:
+        for i, item in enumerate(items):
+            try:
+                result = func(item)
+            except Exception as exc:
+                yield i, None, exc
+            else:
+                yield i, result, None
+        return
+    pool = ProcessPoolExecutor(max_workers=processes, initializer=initializer, initargs=initargs)
+    try:
+        futures = {pool.submit(func, item): i for i, item in enumerate(items)}
+        for future in as_completed(futures):
+            exc = future.exception()
+            if exc is not None:
+                yield futures[future], None, exc
+            else:
+                yield futures[future], future.result(), None
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 @dataclass

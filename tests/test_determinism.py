@@ -1,0 +1,139 @@
+"""The determinism harness (docs/ARCHITECTURE.md contract, systematically).
+
+One mixed fold / baseline-fold / dock batch — including an in-batch duplicate
+— is executed every way the engine can execute it:
+
+* serially (the reference run),
+* on a 2-worker and a 4-worker process pool,
+* against a cold then a warm persistent cache,
+* interrupted partway and resumed by a brand-new engine over the journal.
+
+Every mode must produce results *bit-identical* to the reference, asserted on
+the canonical JSON serialisation of each result payload (the same bytes the
+persistent cache stores).  The resumed mode additionally proves it executed
+only the jobs the interrupted run never completed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bio.reference import ReferenceStructureGenerator
+from repro.config import PipelineConfig
+from repro.docking.ligand import SyntheticLigandGenerator
+from repro.engine import Engine, SessionJournal
+from repro.utils.io import _NumpyJSONEncoder
+
+CONFIG = PipelineConfig(
+    vqe_iterations=5,
+    optimisation_shots=24,
+    final_shots=48,
+    ansatz_reps=1,
+    docking_seeds=2,
+    docking_poses=2,
+    docking_mc_steps=25,
+    seed=13,
+)
+
+
+def _mixed_jobs(engine: Engine) -> list:
+    """Two quantum folds, two baselines, one dock and one duplicate fold."""
+    reference = ReferenceStructureGenerator(master_seed=CONFIG.seed).generate("3eax", "RYRDV")
+    ligand = SyntheticLigandGenerator(master_seed=CONFIG.seed).generate(reference)
+    return [
+        engine.spec("3eax", "RYRDV"),
+        engine.spec("3ckz", "VKDRS", start_seq_id=149),
+        engine.baseline_spec("3eax", "RYRDV", "AF2"),
+        engine.baseline_spec("3eax", "RYRDV", "AF3"),
+        engine.dock_spec("3eax", reference.structure, ligand, receptor_id="3eax:QDock"),
+        engine.spec("3eax", "RYRDV"),  # in-batch duplicate of job 0
+    ]
+
+
+def _canonical(results: list) -> list[str]:
+    """Bit-stable serialisation of each result (the cache's own payload bytes)."""
+    return [
+        json.dumps(result.to_payload(), sort_keys=True, cls=_NumpyJSONEncoder)
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_run() -> list[str]:
+    """The serial, cache-less execution every other mode must reproduce."""
+    engine = Engine(config=CONFIG, processes=0)
+    return _canonical(engine.run(_mixed_jobs(engine)))
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_runs_are_bit_identical_to_serial(reference_run, workers):
+    engine = Engine(config=CONFIG, processes=workers)
+    assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_cold_and_warm_cache_runs_are_bit_identical_to_serial(
+    reference_run, tmp_path, workers
+):
+    cold_engine = Engine(config=CONFIG, cache=tmp_path / "cache", processes=workers)
+    cold = _canonical(cold_engine.run(_mixed_jobs(cold_engine)))
+    assert cold == reference_run
+    assert cold_engine.stats()["executed_jobs"] == 5  # the duplicate never executes
+
+    warm_engine = Engine(config=CONFIG, cache=tmp_path / "cache", processes=workers)
+    warm = _canonical(warm_engine.run(_mixed_jobs(warm_engine)))
+    assert warm == reference_run
+    assert warm_engine.stats()["executed_jobs"] == 0
+    assert warm_engine.stats()["cache"]["misses"] == 0
+
+
+def test_interrupted_then_resumed_run_is_bit_identical_to_serial(
+    reference_run, tmp_path
+):
+    """The acceptance criterion: resume executes only the not-yet-completed
+    jobs and the full result set matches an uninterrupted serial run."""
+    config = CONFIG.with_updates(
+        session_dir=str(tmp_path / "sessions"), cache_dir=str(tmp_path / "cache")
+    )
+    engine = Engine(config=config, processes=0)
+    session = engine.submit(_mixed_jobs(engine), session_id="harness")
+    for count, _pair in enumerate(session, start=1):
+        if count == 3:
+            break  # interrupt mid-sweep (after the duplicate has streamed too)
+
+    journal = SessionJournal.open(config.session_dir, "harness")
+    completed_before = len(journal.completed)
+    unique_jobs = len(set(journal.spec_hashes))
+    assert 0 < completed_before < unique_jobs
+
+    # A brand-new engine (a new process, in effect) re-opens the journal: the
+    # job specs come from the journal's spec pickle, completed jobs replay
+    # from the cache, and only the remainder executes.
+    resumed_engine = Engine(config=config, processes=0)
+    resumed = resumed_engine.submit(session_id="harness")
+    outcomes = resumed.results()
+
+    assert _canonical(outcomes) == reference_run
+    stats = resumed_engine.stats()
+    assert stats["executed_jobs"] == unique_jobs - completed_before
+    assert stats["failed_jobs"] == 0
+    # Every job the interrupted run completed was served, not re-executed.
+    assert resumed.summary()["cached"] == completed_before
+
+    # The journal is now fully complete: one more resume executes nothing.
+    final_engine = Engine(config=config, processes=0)
+    final = final_engine.submit(session_id="harness")
+    assert _canonical(final.results()) == reference_run
+    assert final_engine.stats()["executed_jobs"] == 0
+
+
+def test_session_knobs_never_enter_job_hashes():
+    """session_dir / on_error are orchestration detail: no cache invalidation."""
+    engine = Engine(config=CONFIG)
+    tweaked = Engine(
+        config=CONFIG.with_updates(session_dir="/elsewhere", on_error="raise")
+    )
+    for base_job, tweaked_job in zip(_mixed_jobs(engine), _mixed_jobs(tweaked)):
+        assert base_job.content_hash() == tweaked_job.content_hash()

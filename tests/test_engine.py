@@ -130,6 +130,19 @@ def test_job_hash_rejects_unserialisable_extra(engine_config):
         bad.content_hash()
 
 
+def test_content_hash_memo_is_dropped_on_pickle(engine_config):
+    """Journal spec pickles can outlive a schema bump: the memoized hash must
+    not ride along, or stale hashes would match stale cache payloads."""
+    import pickle
+
+    spec = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config)
+    first = spec.content_hash()
+    assert "_hash_memo" in spec.__dict__  # memoized on the live object ...
+    clone = pickle.loads(pickle.dumps(spec))
+    assert "_hash_memo" not in clone.__dict__  # ... but re-derived after unpickling
+    assert clone.content_hash() == first
+
+
 def test_registry_snapshot_roundtrips_through_restore():
     snapshot = registry_snapshot()
     assert "auto" in snapshot
@@ -159,6 +172,52 @@ def test_result_cache_roundtrip_and_stats(tmp_path, engine_config):
     assert cache.get(key) is None
 
 
+def test_verify_flags_truncated_payload_and_wrong_hash(tmp_path, engine_config):
+    cache = ResultCache(tmp_path)
+    key = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config).content_hash()
+    payload = {
+        "spec_hash": key,
+        "schema": "fold/v1",
+        "conformation_coords": [[0.0, 0.0, float(i)] for i in range(16)],
+    }
+    cache.put(key, payload)
+    assert cache.verify() == ([key], [])
+
+    # Truncated payload (a torn write or a partially synced disk).
+    path = cache._path(key)
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])
+    valid, corrupt = cache.verify()
+    assert valid == []
+    assert corrupt[0][0] == key and "unreadable" in corrupt[0][1]
+    assert cache.get(key) is None  # a lookup degrades to a miss, never an error
+    assert cache.peek(key) is None
+
+    # Valid JSON whose spec_hash does not match the file name.
+    import json as _json
+
+    path.write_text(_json.dumps({**payload, "spec_hash": "f" * 64}))
+    valid, corrupt = cache.verify()
+    assert valid == []
+    assert corrupt == [(key, "spec_hash does not match file name")]
+    assert cache.get(key) is None
+
+    cache.verify(delete=True)
+    assert key not in cache
+    assert cache.verify() == ([], [])
+
+
+def test_cache_peek_is_stat_and_recency_neutral(tmp_path, engine_config):
+    cache = ResultCache(tmp_path)
+    key = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config).content_hash()
+    cache.put(key, {"spec_hash": key, "schema": "fold/v1"})
+    before = cache.entries()[0].mtime
+    assert cache.peek(key) is not None
+    assert cache.peek("0" * 64) is None
+    assert cache.stats.lookups == 0  # no hit, no miss
+    assert cache.entries()[0].mtime == before  # no LRU refresh either
+
+
 def test_result_cache_treats_corrupt_entry_as_miss(tmp_path, engine_config):
     cache = ResultCache(tmp_path)
     key = JobSpec(pdb_id="3eax", sequence="RYRDV", config=engine_config).content_hash()
@@ -169,6 +228,40 @@ def test_result_cache_treats_corrupt_entry_as_miss(tmp_path, engine_config):
     path.write_text('{"spec_hash": "someone-else"}')
     assert cache.get(key) is None
     assert cache.stats.misses == 2
+
+
+def test_picklable_warns_once_per_entry_name():
+    import logging
+
+    from repro.engine import core
+
+    class _Capture(logging.Handler):
+        def __init__(self):
+            super().__init__()
+            self.messages: list[str] = []
+
+        def emit(self, record):
+            self.messages.append(record.getMessage())
+
+    capture = _Capture()
+    target = logging.getLogger("repro.engine.core")
+    target.addHandler(capture)
+    try:
+        mapping = {"unpicklable_entry_for_test": lambda config: None}
+        # Repeated fan-outs must not re-warn about the same entry ...
+        core._picklable(mapping, "backend")
+        core._picklable(mapping, "backend")
+        core._picklable(mapping, "backend")
+        backend_warnings = [m for m in capture.messages if "unpicklable_entry_for_test" in m]
+        assert len(backend_warnings) == 1
+        # ... but the same name in the *other* registry is a separate warning.
+        core._picklable(mapping, "executor")
+        both = [m for m in capture.messages if "unpicklable_entry_for_test" in m]
+        assert len(both) == 2
+        # The entry is still dropped silently on later calls.
+        assert core._picklable(mapping, "backend") == {}
+    finally:
+        target.removeHandler(capture)
 
 
 # -- engine -------------------------------------------------------------------------

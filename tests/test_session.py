@@ -1,0 +1,461 @@
+"""Tests for streaming engine sessions: failure isolation, journals, resume,
+progress events, the streaming BatchProcessor and the repro-session CLI."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import ClassVar
+
+import pytest
+
+from repro.cli.session import main as session_cli_main
+from repro.config import PipelineConfig
+from repro.dataset.batch import BatchProcessor
+from repro.dataset.builder import DatasetBuilder
+from repro.engine import Engine, JobFailure, SessionJournal
+from repro.engine.core import execute_fold_job
+from repro.engine.registry import register_executor
+from repro.exceptions import EngineError
+
+# -- a deliberately crashing job kind ------------------------------------------------
+#
+# ``flaky`` jobs execute in-process (serial sessions), so the tests can steer
+# failures through FAIL_NAMES and observe execution order through EXECUTED.
+
+FAIL_NAMES: set[str] = set()
+EXECUTED: list[str] = []
+
+
+@dataclass(frozen=True)
+class FlakySpec:
+    """A trivial job spec whose executor crashes when told to."""
+
+    name: str
+
+    kind: ClassVar[str] = "flaky"
+
+    def content_hash(self) -> str:
+        return hashlib.sha256(f"flaky/v1\x1f{self.name}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class FlakyResult:
+    spec_hash: str
+    name: str
+    value: float
+    from_cache: bool = False
+    kind: str = "flaky"
+
+    def shallow_copy(self, from_cache: bool | None = None) -> "FlakyResult":
+        out = replace(self)
+        if from_cache is not None:
+            out.from_cache = from_cache
+        return out
+
+
+def execute_flaky(spec: FlakySpec) -> FlakyResult:
+    EXECUTED.append(spec.name)
+    if spec.name in FAIL_NAMES:
+        raise ValueError(f"flaky job {spec.name} exploded")
+    return FlakyResult(spec_hash=spec.content_hash(), name=spec.name, value=float(len(spec.name)))
+
+
+register_executor("flaky", execute_flaky, overwrite=True)
+
+
+@pytest.fixture(autouse=True)
+def _reset_flaky_state():
+    FAIL_NAMES.clear()
+    EXECUTED.clear()
+    yield
+    FAIL_NAMES.clear()
+
+
+@pytest.fixture
+def session_engine(tmp_path) -> Engine:
+    """A serial engine journalling to a tmp session_dir (no result cache)."""
+    return Engine(
+        config=PipelineConfig(session_dir=str(tmp_path / "sessions")), processes=0
+    )
+
+
+# -- failure isolation ---------------------------------------------------------------
+
+
+def test_failing_job_is_isolated_and_batch_completes(session_engine):
+    FAIL_NAMES.add("bad")
+    jobs = [FlakySpec("a"), FlakySpec("bad"), FlakySpec("b")]
+    outcomes = session_engine.submit(jobs, session_id="iso").results()
+
+    assert EXECUTED == ["a", "bad", "b"]  # the crash did not stop the batch
+    assert isinstance(outcomes[0], FlakyResult) and outcomes[0].name == "a"
+    assert isinstance(outcomes[2], FlakyResult) and outcomes[2].name == "b"
+    failure = outcomes[1]
+    assert isinstance(failure, JobFailure)
+    assert failure.spec_hash == FlakySpec("bad").content_hash()
+    assert failure.kind == "flaky"
+    assert failure.error_type == "ValueError"
+    assert "bad exploded" in failure.error_message
+
+    stats = session_engine.stats()
+    assert stats["executed_jobs"] == 2
+    assert stats["failed_jobs"] == 1
+    assert stats["completed_jobs"] == 2
+
+
+def test_duplicates_of_a_failed_job_share_the_failure_record(session_engine):
+    FAIL_NAMES.add("bad")
+    session = session_engine.submit(
+        [FlakySpec("bad"), FlakySpec("a"), FlakySpec("bad")], session_id="dup"
+    )
+    outcomes = session.results()
+    assert EXECUTED == ["bad", "a"]  # the duplicate never re-executes
+    assert isinstance(outcomes[0], JobFailure)
+    assert outcomes[2] is outcomes[0]
+    assert isinstance(outcomes[1], FlakyResult)
+    # failures() reports the shared record once, agreeing with the counter.
+    assert len(session.failures()) == 1
+    summary = session.summary()
+    assert summary["failed"] == 1 and len(summary["failures"]) == 1
+
+
+def test_on_error_raise_propagates_the_original_exception(session_engine):
+    FAIL_NAMES.add("bad")
+    session = session_engine.submit(
+        [FlakySpec("a"), FlakySpec("bad"), FlakySpec("b")],
+        session_id="raise",
+        on_error="raise",
+    )
+    with pytest.raises(ValueError, match="bad exploded"):
+        session.results()
+    assert EXECUTED == ["a", "bad"]  # fail-fast: the batch stopped at the crash
+    # The journal still knows what finished and what crashed.
+    journal = SessionJournal.open(session_engine.config.session_dir, "raise")
+    assert len(journal.completed) == 1
+    assert [r["error_type"] for r in journal.failed.values()] == ["ValueError"]
+
+
+def test_unknown_on_error_policy_is_rejected(session_engine):
+    with pytest.raises(EngineError):
+        session_engine.submit([FlakySpec("a")], on_error="explode")
+
+
+# -- resume: exactly the failed / incomplete jobs re-run ------------------------------
+
+
+def test_resume_reruns_exactly_the_failed_jobs(session_engine):
+    FAIL_NAMES.add("bad")
+    jobs = [FlakySpec("a"), FlakySpec("bad"), FlakySpec("b")]
+    session = session_engine.submit(jobs, session_id="rerun")
+    first = session.results()
+    assert isinstance(first[1], JobFailure)
+
+    FAIL_NAMES.clear()
+    EXECUTED.clear()
+    resumed = session.resume()
+    outcomes = resumed.results()
+
+    assert EXECUTED == ["bad"]  # nothing else re-ran
+    assert [o.name for o in outcomes] == ["a", "bad", "b"]
+    assert outcomes[0].from_cache and outcomes[2].from_cache  # replayed, not re-executed
+    assert not outcomes[1].from_cache
+    assert resumed.summary()["failed"] == 0
+
+
+def test_interrupted_stream_resumes_only_incomplete_jobs(session_engine):
+    jobs = [FlakySpec(name) for name in ("a", "b", "c", "d")]
+    session = session_engine.submit(jobs, session_id="interrupt")
+    seen = []
+    for spec, outcome in session:
+        seen.append(outcome.name)
+        if len(seen) == 2:
+            break  # simulate Ctrl-C after two completions
+
+    assert EXECUTED == ["a", "b"]
+    EXECUTED.clear()
+    resumed = session.resume()
+    outcomes = resumed.results()
+    assert EXECUTED == ["c", "d"]  # only the never-completed jobs executed
+    assert [o.name for o in outcomes] == ["a", "b", "c", "d"]
+    # Progress statuses confirm the replay/execute split.
+    assert resumed.summary()["cached"] == 2
+    assert resumed.summary()["executed"] == 2
+
+
+def test_cache_hits_stream_before_pool_completions(session_engine):
+    events = []
+    session = session_engine.submit(
+        [FlakySpec("a"), FlakySpec("b")], session_id="order1"
+    )
+    session.results()
+    # Resume with two extra fresh jobs via a new session over a superset is a
+    # different journal; instead interrupt-style: resume the same session and
+    # watch replayed outcomes arrive before executions.
+    EXECUTED.clear()
+    resumed = session.resume()
+    resumed.progress = lambda e: events.append(e.status)
+    resumed.results()
+    assert events == ["cached", "cached"]
+
+    events.clear()
+    mixed = session_engine.submit(
+        [FlakySpec("c"), FlakySpec("a")], session_id="order2",
+        progress=lambda e: events.append((e.status, e.spec_hash)),
+    )
+    ordered = [outcome.name for _spec, outcome in mixed]
+    # "a" was never journalled under order2 and there is no result cache, so
+    # both execute — submission order is preserved serially.
+    assert ordered == ["c", "a"]
+    assert [s for s, _ in events] == ["executed", "executed"]
+
+
+def test_progress_events_carry_running_totals(session_engine):
+    FAIL_NAMES.add("bad")
+    events = []
+    session_engine.submit(
+        [FlakySpec("a"), FlakySpec("bad"), FlakySpec("a")],
+        session_id="progress",
+        progress=events.append,
+    ).results()
+    assert [(e.status, e.done, e.total) for e in events] == [
+        ("executed", 1, 3),
+        ("duplicate", 2, 3),
+        ("failed", 3, 3),
+    ]
+    last = events[-1]
+    assert last.executed == 1 and last.failed == 1 and last.cached == 0
+    assert last.fraction == 1.0
+
+
+def test_partially_consumed_session_is_drainable(session_engine):
+    session = session_engine.submit(
+        [FlakySpec("a"), FlakySpec("b"), FlakySpec("c")], session_id="drain"
+    )
+    for _spec, outcome in session:
+        assert outcome.name == "a"
+        break  # suspends the stream mid-batch
+    # results() picks the stream up where the loop stopped — no re-execution,
+    # no "already consumed" error.
+    outcomes = session.results()
+    assert [o.name for o in outcomes] == ["a", "b", "c"]
+    assert EXECUTED == ["a", "b", "c"]
+    # A finished session re-yields its stored outcomes in submission order.
+    assert [outcome.name for _spec, outcome in session] == ["a", "b", "c"]
+
+
+def test_close_stops_a_partially_consumed_session(session_engine):
+    session = session_engine.submit(
+        [FlakySpec("a"), FlakySpec("b")], session_id="closed"
+    )
+    next(iter(session))
+    session.close()
+    assert EXECUTED == ["a"]  # "b" never ran
+    # A closed session refuses to hand out a result list with silent holes.
+    with pytest.raises(EngineError, match="closed"):
+        session.results()
+    # The journal kept what finished; a resume runs only the remainder.
+    outcomes = session.resume().results()
+    assert EXECUTED == ["a", "b"]
+    assert [o.name for o in outcomes] == ["a", "b"]
+
+
+# -- the journal on disk -------------------------------------------------------------
+
+
+def test_journal_records_survive_and_tolerate_torn_writes(session_engine):
+    FAIL_NAMES.add("bad")
+    session_engine.submit(
+        [FlakySpec("a"), FlakySpec("bad")], session_id="torn"
+    ).results()
+    root = session_engine.config.session_dir
+    journal = SessionJournal.open(root, "torn")
+    assert set(journal.completed) == {FlakySpec("a").content_hash()}
+    assert set(journal.failed) == {FlakySpec("bad").content_hash()}
+
+    # A process killed mid-write leaves a torn trailing line; re-open skips it.
+    with journal.path.open("a", encoding="utf-8") as fh:
+        fh.write('{"record": "job", "spec_hash": "abc", "status": "comp')
+    reopened = SessionJournal.open(root, "torn")
+    assert set(reopened.completed) == set(journal.completed)
+    assert reopened.summary()["failed"] == 1
+
+    # A later completed record for a previously failed job wins.
+    reopened.record_job(FlakySpec("bad").content_hash(), "completed", "flaky")
+    again = SessionJournal.open(root, "torn")
+    assert again.summary() == {
+        "session_id": "torn",
+        "created_at": again.created_at,
+        "total_submitted": 2,
+        "total_unique": 2,
+        "completed": 2,
+        "failed": 0,
+        "pending": 0,
+        "resumes": 0,
+    }
+
+
+def test_run_never_journals_even_with_session_dir(session_engine):
+    """run() is one-shot: journalling its random ids would litter session_dir."""
+    results = session_engine.run([FlakySpec("a")])
+    assert isinstance(results[0], FlakyResult)
+    root = Path(session_engine.config.session_dir)
+    assert not root.exists() or list(root.glob("*.jsonl")) == []
+
+
+def test_empty_session_journal_reopens_cleanly(session_engine):
+    assert session_engine.submit([], session_id="empty").results() == []
+    journal = SessionJournal.open(session_engine.config.session_dir, "empty")
+    assert journal.summary()["total_unique"] == 0
+    assert session_engine.submit(session_id="empty").results() == []
+
+
+def test_submit_rejects_a_mismatched_journal(session_engine):
+    session_engine.submit([FlakySpec("a")], session_id="fixed").results()
+    with pytest.raises(EngineError, match="different"):
+        session_engine.submit([FlakySpec("other")], session_id="fixed")
+
+
+def test_submit_without_jobs_requires_a_journal(session_engine):
+    with pytest.raises(EngineError):
+        session_engine.submit(session_id="never-created")
+    engine = Engine(config=PipelineConfig())  # no session_dir at all
+    with pytest.raises(EngineError):
+        engine.submit()
+
+
+def test_journalled_complete_but_uncached_job_reexecutes(session_engine):
+    """The journal is bookkeeping, not storage: no cache => re-execute."""
+    session_engine.submit([FlakySpec("a")], session_id="lost").results()
+    EXECUTED.clear()
+    fresh = Engine(config=session_engine.config, processes=0)
+    outcomes = fresh.submit(session_id="lost").results()
+    assert EXECUTED == ["a"]  # journalled complete, but there is nothing to replay
+    assert isinstance(outcomes[0], FlakyResult)
+    assert fresh.stats()["executed_jobs"] == 1
+
+
+# -- cross-process resume through the CLI --------------------------------------------
+
+
+@pytest.fixture
+def fold_config(tmp_path) -> PipelineConfig:
+    return PipelineConfig(
+        vqe_iterations=4,
+        optimisation_shots=24,
+        final_shots=48,
+        ansatz_reps=1,
+        seed=9,
+        session_dir=str(tmp_path / "sessions"),
+        cache_dir=str(tmp_path / "cache"),
+    )
+
+
+def test_cli_resume_executes_only_pending_jobs(fold_config, capsys):
+    engine = Engine(config=fold_config)
+    jobs = [engine.spec("3eax", "RYRDV"), engine.spec("3ckz", "VKDRS")]
+    session = engine.submit(jobs, session_id="cli-sweep")
+    for _spec, _outcome in session:
+        break  # interrupt after the first fold
+
+    rc = session_cli_main(
+        ["resume", fold_config.session_dir, "cli-sweep", "--json", "--quiet"]
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert summary["total"] == 2
+    assert summary["cached"] == 1  # the interrupted run's completed fold replays
+    assert summary["executed"] == 1  # only the pending fold executed
+    assert summary["failed"] == 0
+    assert summary["engine"]["executed_jobs"] == 1
+
+    rc = session_cli_main(
+        ["status", fold_config.session_dir, "cli-sweep", "--json"]
+    )
+    status = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert status["pending"] == 0
+    assert status["replayable_from_cache"] == 2
+
+    rc = session_cli_main(["ls", fold_config.session_dir, "--json"])
+    sessions = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert [s["session_id"] for s in sessions] == ["cli-sweep"]
+    assert sessions[0]["pending"] == 0
+
+
+def test_cli_rejects_missing_directory_and_journal(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        session_cli_main(["ls", str(tmp_path / "nope")])
+    assert exc.value.code == 2
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(SystemExit) as exc:
+        session_cli_main(["status", str(tmp_path / "empty"), "ghost"])
+    assert exc.value.code == 2
+
+
+def test_cli_status_reports_failures_with_exit_code(session_engine, capsys):
+    FAIL_NAMES.add("bad")
+    session_engine.submit([FlakySpec("a"), FlakySpec("bad")], session_id="sad").results()
+    rc = session_cli_main(
+        ["status", session_engine.config.session_dir, "sad", "--json"]
+    )
+    status = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert status["failed"] == 1
+    assert status["failures"][0]["error_type"] == "ValueError"
+
+
+# -- the streaming BatchProcessor ----------------------------------------------------
+
+
+def _exploding_fold(spec):
+    if spec.pdb_id == "1e2k":
+        raise RuntimeError("injected fold crash")
+    return execute_fold_job(spec)
+
+
+def test_batch_processor_isolates_a_failed_fragment():
+    """One crashing fold drops only its fragment; the rest of the build completes."""
+    register_executor("fold", _exploding_fold, overwrite=True)
+    try:
+        config = PipelineConfig(
+            vqe_iterations=4,
+            optimisation_shots=24,
+            final_shots=48,
+            ansatz_reps=1,
+            docking_seeds=2,
+            docking_poses=2,
+            docking_mc_steps=20,
+            seed=9,
+        )
+        fragments = DatasetBuilder.select_fragments(pdb_ids=["3eax", "1e2k"])
+        engine = Engine(config=config)
+        entries = BatchProcessor(config=config, engine=engine).build_entries(fragments)
+        assert [entry.fragment.pdb_id for entry in entries] == ["3eax"]
+        assert engine.stats()["failed_jobs"] == 1
+        # The surviving fragment was fully evaluated (quantum + 2 baselines)
+        # and docked; the crashed fragment never reached the docking phase.
+        assert set(entries[0].evaluations) == {"QDock", "AF2", "AF3"}
+        assert engine.stats()["executed_by_kind"]["dock"] == 3
+    finally:
+        register_executor("fold", execute_fold_job, overwrite=True)
+
+
+def test_batch_processor_on_error_raise_aborts_the_build():
+    register_executor("fold", _exploding_fold, overwrite=True)
+    try:
+        config = PipelineConfig(
+            vqe_iterations=4,
+            optimisation_shots=24,
+            final_shots=48,
+            seed=9,
+            on_error="raise",
+        )
+        fragments = DatasetBuilder.select_fragments(pdb_ids=["1e2k"])
+        with pytest.raises(RuntimeError, match="injected fold crash"):
+            BatchProcessor(config=config, engine=Engine(config=config)).build_entries(fragments)
+    finally:
+        register_executor("fold", execute_fold_job, overwrite=True)
