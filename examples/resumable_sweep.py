@@ -8,12 +8,20 @@ remainder and replays the rest from the result cache.
 
 CI's ``session-resume`` job uses this script end-to-end: start, SIGTERM,
 resume, then assert via the emitted stats JSON that zero completed jobs were
-re-executed.
+re-executed.  The ``distributed-sweep`` job runs the same sweep on the
+``filequeue`` transport against externally launched ``repro-worker`` daemons
+(``--transport filequeue --spool-dir ...``), SIGKILLs one daemon mid-job, and
+diffs the ``--results-json`` canonical payloads against a serial run.
 
 Usage::
 
     PYTHONPATH=src python examples/resumable_sweep.py \
         --session-dir .sweep/sessions --cache-dir .sweep/cache
+
+    repro-worker .sweep/spool &  # then, distributed:
+    PYTHONPATH=src python examples/resumable_sweep.py \
+        --session-dir .sweep/sessions --cache-dir .sweep/cache \
+        --transport filequeue --spool-dir .sweep/spool --results-json out.json
 """
 
 from __future__ import annotations
@@ -48,6 +56,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--session-id", default="resumable-sweep", help="journal identifier")
     parser.add_argument("--processes", type=int, default=0, help="engine worker processes")
     parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument(
+        "--transport", default=None, choices=["auto", "serial", "pool", "filequeue"],
+        help="executor transport (default: the engine's auto resolution)",
+    )
+    parser.add_argument("--spool-dir", default=None, help="filequeue spool directory")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="repro-worker daemons the filequeue transport spawns itself "
+             "(default 0: rely on externally launched workers)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=30.0,
+        help="filequeue stale-lease timeout in seconds",
+    )
+    parser.add_argument(
+        "--results-json", default=None,
+        help="write the canonical per-job result payloads here (bit-identity audits)",
+    )
     args = parser.parse_args(argv)
 
     warnings.filterwarnings("ignore", message="COBYLA")
@@ -56,6 +82,14 @@ def main(argv: list[str] | None = None) -> int:
         session_dir=args.session_dir,
         cache_dir=args.cache_dir,
     )
+    if args.transport:
+        config = config.with_updates(transport=args.transport)
+    if args.spool_dir:
+        config = config.with_updates(
+            spool_dir=args.spool_dir,
+            transport_workers=args.workers,
+            transport_lease_timeout=args.lease_timeout,
+        )
     engine = Engine(config=config, processes=args.processes)
     jobs = [
         engine.spec(pdb_id, sequence) for pdb_id, sequence in FRAGMENTS
@@ -75,7 +109,21 @@ def main(argv: list[str] | None = None) -> int:
     # Same session id every run: the first run creates the journal, any later
     # run (after a crash or kill) resumes it and executes only the remainder.
     session = engine.submit(jobs, session_id=args.session_id, progress=progress)
-    session.results()
+    outcomes = session.results()
+
+    if args.results_json:
+        from repro.engine import JobFailure
+        from repro.utils.io import _NumpyJSONEncoder
+
+        canonical = [
+            {"failed": outcome.as_dict()}
+            if isinstance(outcome, JobFailure)
+            else json.dumps(outcome.to_payload(), sort_keys=True, cls=_NumpyJSONEncoder)
+            for outcome in outcomes
+        ]
+        Path(args.results_json).write_text(
+            json.dumps(canonical, indent=2) + "\n", encoding="utf-8"
+        )
 
     summary = session.summary()
     summary["engine"] = engine.stats()

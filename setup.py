@@ -2,8 +2,9 @@
 
 Kept as a plain setup.py (no PEP 517 build isolation required) so
 ``pip install -e .`` works offline.  Installs the ``repro`` package from
-``src/`` and the ``repro-cache`` / ``repro-session`` console tools
-(:mod:`repro.cli.cache`, :mod:`repro.cli.session`).
+``src/`` and the ``repro-cache`` / ``repro-session`` / ``repro-worker``
+console tools (:mod:`repro.cli.cache`, :mod:`repro.cli.session`,
+:mod:`repro.cli.worker`).
 """
 from setuptools import find_packages, setup
 
@@ -19,6 +20,7 @@ setup(
         "console_scripts": [
             "repro-cache=repro.cli.cache:main",
             "repro-session=repro.cli.session:main",
+            "repro-worker=repro.cli.worker:main",
         ],
     },
 )

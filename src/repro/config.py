@@ -80,6 +80,26 @@ class PipelineConfig:
         aborts the stream).  ``Engine.run`` keeps its historical fail-fast
         contract regardless and must be asked explicitly to isolate.
         Like all orchestration detail, neither knob enters any job hash.
+    transport:
+        Executor transport jobs run on: ``"serial"`` (in-process),
+        ``"pool"`` (local process pool), ``"filequeue"`` (a fleet of
+        ``repro-worker`` daemons over a shared spool directory), or
+        ``"auto"`` (the default: serial for ``processes <= 1``, pool
+        otherwise).  Results are bit-identical on every transport; like all
+        transport knobs below, this never enters any job hash.
+    spool_dir:
+        Shared spool directory of the ``filequeue`` transport (required when
+        it is selected; created if absent).
+    transport_workers:
+        How many local ``repro-worker`` daemons the ``filequeue`` transport
+        spawns per batch.  ``None`` (the default) falls back to the engine's
+        ``processes`` value; ``0`` spawns none and relies on externally
+        launched workers watching the spool.
+    transport_lease_timeout:
+        Seconds before an untouched task claim counts as abandoned by a dead
+        worker and is requeued (stale-lease reclamation).
+    transport_poll_interval:
+        Seconds between the submitting transport's spool scans.
     """
 
     vqe_iterations: int = 60
@@ -101,6 +121,11 @@ class PipelineConfig:
     cache_eviction: str = "lru"
     session_dir: str | None = None
     on_error: str = "isolate"
+    transport: str = "auto"
+    spool_dir: str | None = None
+    transport_workers: int | None = None
+    transport_lease_timeout: float = 30.0
+    transport_poll_interval: float = 0.05
     #: CVaR fraction used by the stage-1 objective (1.0 = plain expectation).
     cvar_alpha: float = 0.2
     #: Cap applied to the width-scaled stage-2 shot count.

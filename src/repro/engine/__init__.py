@@ -18,12 +18,20 @@ Long sweeps stream instead of blocking: ``engine.submit(jobs)`` returns a
 they complete, with progress callbacks, journalled per-job status, isolated
 :class:`~repro.engine.session.JobFailure` records and crash/interrupt resume.
 
+Where jobs *run* is a pluggable executor transport
+(``config.transport = "serial" | "pool" | "filequeue"``): in-process, on a
+local process pool, or across a fleet of independent ``repro-worker`` daemons
+coordinating over a shared spool directory — bit-identical results on every
+transport.
+
 See :mod:`repro.engine.core` for the execution model, :mod:`repro.engine.jobs`
 for the job kinds and content hashing, :mod:`repro.engine.session` for
 sessions/journals/resume, :mod:`repro.engine.registry` for named backends and
-per-kind executors, :mod:`repro.engine.cache` for the persistent (optionally
-LRU-bounded) store, and :mod:`repro.cli.cache` / :mod:`repro.cli.session` for
-the ``repro-cache`` and ``repro-session`` maintenance tools.
+per-kind executors, :mod:`repro.engine.transports` for the transport layer,
+:mod:`repro.engine.cache` for the persistent (optionally LRU-bounded) store,
+and :mod:`repro.cli.cache` / :mod:`repro.cli.session` /
+:mod:`repro.cli.worker` for the ``repro-cache``, ``repro-session`` and
+``repro-worker`` tools.
 """
 
 from repro.engine.cache import CacheEntry, CacheStats, ResultCache
@@ -56,6 +64,19 @@ from repro.engine.session import (
     SessionJournal,
     SessionProgress,
 )
+from repro.engine.transports import (
+    FileQueueSpool,
+    FileQueueTransport,
+    FileQueueWorker,
+    PoolTransport,
+    RemoteJobError,
+    SerialTransport,
+    Transport,
+    TransportCapabilities,
+    make_transport,
+    register_transport,
+    transport_names,
+)
 from repro.engine.core import (
     Engine,
     execute_baseline_job,
@@ -77,13 +98,21 @@ __all__ = [
     "DockJobResult",
     "DockSpec",
     "Engine",
+    "FileQueueSpool",
+    "FileQueueTransport",
+    "FileQueueWorker",
     "JobFailure",
     "JobResult",
     "JobSpec",
+    "PoolTransport",
+    "RemoteJobError",
     "ResultCache",
+    "SerialTransport",
     "Session",
     "SessionJournal",
     "SessionProgress",
+    "Transport",
+    "TransportCapabilities",
     "backend_names",
     "config_fingerprint",
     "execute_baseline_job",
@@ -93,7 +122,10 @@ __all__ = [
     "executor_for",
     "executor_kinds",
     "make_backend",
+    "make_transport",
     "register_backend",
     "register_executor",
+    "register_transport",
     "result_from_payload",
+    "transport_names",
 ]

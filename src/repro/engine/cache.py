@@ -112,6 +112,10 @@ class ResultCache:
         # resynchronised by every prune() scan (concurrent writers can make it
         # drift between prunes — the bound is enforcement, not accounting).
         self._tracked_total: int | None = None
+        # Test-only crash-consistency hook: called with each CacheEntry just
+        # before prune() considers evicting it, so tests can interleave a
+        # concurrent writer/pruner at the exact race window.
+        self._before_evict = None
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -198,6 +202,15 @@ class ResultCache:
 
         ``None`` uses the configured bound (a no-op when that is also
         ``None``).  Returns the evicted keys, oldest first.
+
+        The cache is shared between concurrent builder processes, so the scan
+        is re-validated per entry at eviction time: an entry that *vanished*
+        since the scan (a concurrent pruner evicted it) is skipped without
+        counting an eviction here, and an entry *re-written or refreshed*
+        since the scan (its mtime moved — a concurrent writer just produced
+        or touched it) is spared rather than evicting bytes the scan never
+        saw.  Either way the freshly written payload survives and the
+        running total stays honest.
         """
         bound = self.max_bytes if max_bytes is None else int(max_bytes)
         if bound is None:
@@ -210,7 +223,23 @@ class ResultCache:
         for entry in entries:
             if total <= bound:
                 break
-            entry.path.unlink(missing_ok=True)
+            if self._before_evict is not None:
+                self._before_evict(entry)
+            try:
+                current = entry.path.stat()
+            except OSError:
+                total -= entry.size_bytes  # vanished under a concurrent pruner
+                continue
+            if current.st_mtime != entry.mtime:
+                # Re-written (or LRU-refreshed) since the scan: keep it, and
+                # account for its current size instead of the stale one.
+                total += current.st_size - entry.size_bytes
+                continue
+            try:
+                entry.path.unlink()
+            except OSError:
+                total -= entry.size_bytes  # lost the unlink race; already gone
+                continue
             total -= entry.size_bytes
             evicted.append(entry.key)
             self.stats.evictions += 1

@@ -11,7 +11,9 @@ search — is a typed spec (:mod:`repro.engine.jobs`) streamed through one
 * deduplicates identical jobs within a batch (kinds cannot collide: the
   kind's schema version leads every content hash),
 * serves previously computed jobs from the persistent result cache,
-* fans the remaining jobs out over a process pool (``utils/parallel``), and
+* fans the remaining jobs out over the configured executor transport
+  (:mod:`repro.engine.transports` — in-process serial, a local process pool,
+  or a distributed ``repro-worker`` file-queue fleet), and
 * gathers results in submission order.
 
 Execution is *streaming*: :meth:`Engine.submit` opens a
@@ -46,6 +48,7 @@ from repro.engine.jobs import (
 )
 from repro.engine.registry import executor_for, register_executor
 from repro.engine.session import Session, SessionJournal, new_session_id
+from repro.engine.transports import Transport, make_transport
 from repro.exceptions import EngineError
 from repro.folding.predictor import FoldingPrediction, fold_fragment
 from repro.lattice.hamiltonian import HamiltonianWeights
@@ -167,6 +170,11 @@ class Engine:
     processes:
         Default worker-process count for :meth:`run`; ``None`` uses
         ``config.engine_workers``.  ``0``/``1`` executes serially.
+    transport:
+        Name of the executor transport jobs run on (``"serial"``, ``"pool"``,
+        ``"filequeue"`` or ``"auto"``); ``None`` uses ``config.transport``.
+        Every transport is bit-identical — see
+        :mod:`repro.engine.transports`.
     """
 
     def __init__(
@@ -174,8 +182,10 @@ class Engine:
         config: PipelineConfig | None = None,
         cache: ResultCache | str | Path | None = None,
         processes: int | None = None,
+        transport: str | None = None,
     ):
         self.config = config or PipelineConfig()
+        self.transport_name = transport or self.config.transport
         if cache is None and self.config.cache_dir:
             cache = self.config.cache_dir
         if isinstance(cache, (str, Path)):
@@ -190,6 +200,15 @@ class Engine:
         self.completed_jobs = 0
         self.failed_jobs = 0
         self.executed_by_kind: dict[str, int] = {}
+
+    def transport_for(self, processes: int | None = None) -> Transport:
+        """A fresh one-batch transport resolved from this engine's configuration.
+
+        Called by the session loop when a batch actually has jobs to execute;
+        ``processes`` of ``None`` uses the engine default.
+        """
+        processes = self.processes if processes is None else int(processes)
+        return make_transport(self.transport_name, self.config, processes=processes)
 
     # -- job construction -----------------------------------------------------------
 

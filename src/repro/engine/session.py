@@ -7,7 +7,10 @@ progress signal.  A :class:`Session` restructures that into a stream:
 
 * ``Engine.submit(jobs)`` returns a :class:`Session` that yields
   ``(spec, outcome)`` pairs *as they complete* — cache hits first (in
-  submission order), then pool completions (in completion order);
+  submission order), then executor-transport completions (in completion
+  order; the transport — in-process, process pool, or a distributed
+  ``repro-worker`` fleet — is ``config.transport``, see
+  :mod:`repro.engine.transports`);
 * every completed job is recorded to an append-only on-disk **journal**
   (:class:`SessionJournal`) next to the result cache, so a crashed or
   interrupted sweep can be resumed — by ``Session.resume()`` in-process, or by
@@ -57,14 +60,8 @@ from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.jobs import result_from_payload
-from repro.engine.registry import (
-    executor_snapshot,
-    registry_snapshot,
-    restore_registries,
-)
 from repro.exceptions import EngineError
 from repro.utils.logging import get_logger
-from repro.utils.parallel import completion_stream
 
 logger = get_logger(__name__)
 
@@ -204,11 +201,15 @@ class SessionJournal:
         """
         journal = cls(root, session_id)
         try:
-            text = journal.path.read_text(encoding="utf-8")
+            raw = journal.path.read_bytes()
         except OSError as exc:
             raise EngineError(
                 f"no session journal {journal.path}: {exc}"
             ) from exc
+        # Decode permissively: a torn write can leave arbitrary bytes on the
+        # tail, and undecodable garbage must invalidate only the lines it
+        # lands on (they fail JSON parsing below), never the whole journal.
+        text = raw.decode("utf-8", errors="replace")
         journal._repair_newline = bool(text) and not text.endswith("\n")
         saw_header = False
         for line in text.splitlines():
@@ -379,6 +380,9 @@ class Session:
         self._outcomes: list[Any] = [None] * len(self.jobs)
         self._state = "new"  # new -> running -> finished
         self._stream_gen: Iterator[tuple[Any, Any]] | None = None
+        #: The executor transport of the running stream (set when execution
+        #: starts; exposed so tests and tools can inspect/steer the fleet).
+        self.transport: Any = None
         self.cached = 0
         self.executed = 0
         self.failed = 0
@@ -431,36 +435,26 @@ class Session:
                 pending.append(i)
 
         if pending:
+            self.transport = engine.transport_for(self.processes)
             logger.info(
-                "session %s: executing %d/%d jobs (%d reusable, %d duplicate) on %d processes",
+                "session %s: executing %d/%d jobs (%d reusable, %d duplicate) "
+                "on the %s transport (%d processes)",
                 self.session_id, len(pending), len(self.jobs), len(served),
-                len(self.jobs) - len(served) - len(pending), max(1, self.processes),
+                len(self.jobs) - len(served) - len(pending),
+                self.transport.name, max(1, self.processes),
             )
 
         # Cache hits first, in submission order ...
         for i in served:
             yield from self._deliver(i, "cached", duplicates_of)
 
-        # ... then pool completions, in completion order (serial execution
-        # degrades to submission order).  The journal and cache are updated
-        # *before* each yield, so breaking out of the stream can never lose a
-        # finished result.
+        # ... then transport completions, in completion order (the serial
+        # transport degrades to submission order).  The journal and cache are
+        # updated *before* each yield, so breaking out of the stream can
+        # never lose a finished result; the transport's own teardown cancels
+        # whatever never completed.
         if pending:
-            from repro.engine.core import _picklable, execute_job  # late: avoids an import cycle
-
-            initargs = ()
-            if self.processes > 1:
-                initargs = (
-                    _picklable(registry_snapshot(), "backend"),
-                    _picklable(executor_snapshot(), "executor"),
-                )
-            stream = completion_stream(
-                execute_job,
-                [self.jobs[i] for i in pending],
-                processes=self.processes,
-                initializer=restore_registries if initargs else None,
-                initargs=initargs,
-            )
+            stream = self.transport.stream([self.jobs[i] for i in pending])
             for pos, result, exc in stream:
                 i = pending[pos]
                 key = self.keys[i]
@@ -476,10 +470,14 @@ class Session:
                     self._outcomes[i] = result
                     yield from self._deliver(i, "executed", duplicates_of)
                 else:
+                    # Remote transports report failures as data; preserve the
+                    # original error type/message they carried.
+                    error_type = getattr(exc, "error_type", type(exc).__name__)
+                    error_message = getattr(exc, "error_message", str(exc))
                     if self.journal is not None:
                         self.journal.record_job(
                             key, "failed", kind,
-                            error_type=type(exc).__name__, error_message=str(exc),
+                            error_type=error_type, error_message=error_message,
                         )
                     engine.failed_jobs += 1
                     self.failed += 1
@@ -488,8 +486,8 @@ class Session:
                     self._outcomes[i] = JobFailure(
                         spec_hash=key,
                         kind=kind,
-                        error_type=type(exc).__name__,
-                        error_message=str(exc),
+                        error_type=error_type,
+                        error_message=error_message,
                     )
                     yield from self._deliver(i, "failed", duplicates_of)
 

@@ -1,0 +1,176 @@
+"""The executor transport protocol: *where* jobs run, behind one interface.
+
+The engine's session loop needs exactly three things from an execution
+substrate: hand it a batch of job specs (:meth:`Transport.submit`), harvest
+``(index, result, exception)`` completions as they land
+(:meth:`Transport.poll`), and abandon whatever is still outstanding when the
+consumer walks away (:meth:`Transport.cancel`).  Everything else about a
+transport — in-process calls, a process pool, a fleet of independent worker
+daemons coordinating over a spool directory — is an implementation detail the
+session never sees, which is what keeps the PR 3 determinism contract
+transport-agnostic: a job's result depends only on its spec, so serial, pool
+and distributed runs are bit-identical.
+
+Transports are *configuration*, not code: they register by name
+(:func:`register_transport`) and the engine resolves
+``PipelineConfig.transport`` through :func:`make_transport`, exactly like the
+backend and executor registries.  :attr:`Transport.capabilities` advertises
+what a transport can promise (ordered completions, remote workers, a shared
+in-process registry) so callers can warn or adapt instead of guessing.
+
+A transport instance serves **one batch**: ``submit`` may be called once,
+``poll`` drains it incrementally, and ``cancel`` (idempotent) releases its
+resources.  :meth:`Transport.stream` packages that lifecycle as the generator
+the session consumes — cancellation on early exit comes for free from the
+``finally`` clause.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Iterator, Sequence
+
+from repro.exceptions import EngineError
+
+#: One completion: (submission index, result or None, exception or None).
+Completion = tuple[int, Any | None, BaseException | None]
+
+
+@dataclass(frozen=True)
+class TransportCapabilities:
+    """What a transport can promise to its consumer.
+
+    Attributes
+    ----------
+    ordered:
+        Completions arrive in submission order (serial execution does;
+        anything concurrent does not).
+    remote:
+        Jobs may execute outside this process tree — in daemons that started
+        before this process and know nothing about it.  Remote transports
+        cannot see executors or backends registered at runtime in this
+        process unless the workers preloaded the registering module.
+    shared_registry:
+        Workers observe this process's live backend/executor registries
+        (in-process execution) or a pickled snapshot of them (process pool).
+        ``False`` for remote transports.
+    """
+
+    ordered: bool = False
+    remote: bool = False
+    shared_registry: bool = True
+
+
+class Transport(abc.ABC):
+    """One batch's execution substrate: submit, poll completions, cancel.
+
+    Concrete transports implement the three primitives; :meth:`stream` is the
+    session-facing generator built on top of them.  ``poll`` may block up to
+    ``timeout`` seconds waiting for the first completion, returning however
+    many have landed (possibly none on timeout); it must never return a
+    completion twice, and must raise :class:`EngineError` if the batch can
+    provably never finish (e.g. every worker of a spawned fleet is gone and
+    respawning is exhausted).
+    """
+
+    #: Registry name of this transport.
+    name: ClassVar[str] = "abstract"
+    capabilities: ClassVar[TransportCapabilities] = TransportCapabilities()
+
+    @abc.abstractmethod
+    def submit(self, specs: Sequence[Any]) -> int:
+        """Enqueue ``specs`` for execution; returns the number enqueued.
+
+        May be called at most once per transport instance.
+        """
+
+    @abc.abstractmethod
+    def poll(self, timeout: float | None = None) -> list[Completion]:
+        """Harvest completions, waiting up to ``timeout`` seconds for one."""
+
+    @abc.abstractmethod
+    def cancel(self) -> None:
+        """Abandon outstanding work and release resources (idempotent)."""
+
+    @abc.abstractmethod
+    def outstanding(self) -> int:
+        """How many submitted specs have not yet been returned by ``poll``."""
+
+    def stream(self, specs: Sequence[Any]) -> Iterator[Completion]:
+        """Submit ``specs`` and yield every completion, cancelling on exit.
+
+        The generator the session loop consumes: closing it early (the
+        consumer broke out of its ``for`` loop) lands in the ``finally``
+        clause and abandons whatever has not completed.
+        """
+        self.submit(specs)
+        try:
+            while self.outstanding() > 0:
+                for completion in self.poll():
+                    yield completion
+        finally:
+            self.cancel()
+
+
+class RemoteJobError(EngineError):
+    """A job failed on a remote worker; the original exception type is gone.
+
+    Remote workers report failures as data (type name + message), not as
+    picklable exception objects.  This wrapper carries both so the session
+    journal and :class:`~repro.engine.session.JobFailure` records preserve
+    the *original* ``error_type``/``error_message`` instead of reporting
+    every remote failure as a ``RemoteJobError``.
+    """
+
+    def __init__(self, error_type: str, error_message: str, worker: str | None = None):
+        where = f" on worker {worker!r}" if worker else ""
+        super().__init__(f"{error_type}: {error_message} (remote execution{where})")
+        self.error_type = error_type
+        self.error_message = error_message
+        self.worker = worker
+
+
+#: A transport factory: (config, processes) in, a fresh one-batch transport out.
+TransportFactory = Callable[[Any, int], Transport]
+
+_TRANSPORTS: dict[str, TransportFactory] = {}
+
+
+def register_transport(name: str, factory: TransportFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` (lower-cased).
+
+    Factories receive ``(config, processes)`` and must return a *fresh*
+    transport per call — transports are one-batch objects.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise EngineError("transport name must be a non-empty string")
+    if key in _TRANSPORTS and not overwrite:
+        raise EngineError(f"transport {key!r} is already registered")
+    _TRANSPORTS[key] = factory
+
+
+def transport_names() -> tuple[str, ...]:
+    """The transport names currently registered, sorted alphabetically."""
+    return tuple(sorted(_TRANSPORTS))
+
+
+def make_transport(name: str | None, config: Any, processes: int = 0) -> Transport:
+    """Build a fresh transport for one batch.
+
+    ``name`` of ``None`` or ``"auto"`` resolves from the worker count:
+    ``processes <= 1`` executes serially, anything larger uses the process
+    pool.  The distributed file-queue transport is never auto-selected — it
+    needs a spool directory and (usually) externally launched workers, so it
+    is an explicit ``config.transport = "filequeue"`` choice.
+    """
+    key = (name or getattr(config, "transport", None) or "auto").strip().lower()
+    if key == "auto":
+        key = "pool" if processes > 1 else "serial"
+    factory = _TRANSPORTS.get(key)
+    if factory is None:
+        raise EngineError(
+            f"unknown transport {key!r}; registered transports: {', '.join(transport_names())}"
+        )
+    return factory(config, processes)

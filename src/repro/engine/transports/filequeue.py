@@ -1,0 +1,646 @@
+"""Distributed file-queue transport: N worker daemons over a shared spool dir.
+
+The registry/job hashing has been transport-agnostic since PR 1 and the
+session journal (PR 3) provides checkpointing; what was missing is a way to
+run one engine batch across *independent processes* — worker daemons started
+by an operator (or spawned locally by the transport) that share nothing with
+the submitting engine but a directory.  This module is that coordination
+protocol, built entirely on atomic filesystem operations so it needs no
+broker, no sockets and no new dependencies:
+
+``spool/``
+    ``tasks/<task_id>.task``
+        One pending job: a pickled envelope holding the spec (trusted local
+        state, like the session spec pickle).  Written atomically
+        (tmp + ``os.replace``), so a worker never sees a torn task.
+    ``claims/<task_id>.claim``
+        A **lease**.  A worker claims a task by ``os.rename``-ing it from
+        ``tasks/`` into ``claims/`` — rename is atomic, so exactly one
+        claimant wins a race.  While executing, the worker's heartbeat thread
+        touches the claim file; its mtime *is* the lease.  A claim whose
+        mtime is older than the lease timeout belongs to a dead worker and is
+        **reclaimed**: renamed back into ``tasks/`` (again atomic, one
+        reclaimer wins), so a SIGKILLed worker's in-flight job is replayed by
+        the surviving fleet exactly once.
+    ``results/<task_id>.json``
+        The outcome: the result's cache payload (``to_payload()``) on
+        success, or the error type/message on failure — written atomically,
+        after which the claim is released.  The submitting transport polls
+        this directory, rebuilds results with
+        :func:`~repro.engine.jobs.result_from_payload`, and hands them to the
+        session loop, which persists them through the existing
+        :class:`~repro.engine.cache.ResultCache` and session journal — so
+        crash/resume semantics are identical to the local transports.
+    ``log/<worker_id>.jsonl``
+        One record per *finished* execution (appended after the result file
+        lands).  A job is executed-to-completion exactly once, so CI can
+        assert zero duplicates by grepping these logs.
+    ``stop``
+        Operator sentinel: workers exit between jobs when this file exists.
+
+Exactly-once argument: a task is either in ``tasks/`` (runnable), ``claims/``
+(leased to one live worker, or stale and reclaimable), or has a result.
+Claim and reclaim are both single-winner renames; a worker re-checks for an
+existing result after claiming (covering the crash window between result
+write and claim release); and the session journal records each completion
+once, when the transport yields it.  A worker crash before the result write
+leaves only a stale claim — replayed once; a crash after it leaves a result
+and a stale claim — the claim is dropped, the result stands.  Determinism
+makes even the pathological double-execution harmless: both executions would
+produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Sequence
+
+from repro.engine.transports.base import (
+    Completion,
+    RemoteJobError,
+    Transport,
+    TransportCapabilities,
+    register_transport,
+)
+from repro.exceptions import EngineError
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Default lease timeout (seconds): a claim untouched this long is considered
+#: abandoned by a dead worker and its task is requeued.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Default worker scan interval (seconds) between empty queue polls.
+DEFAULT_WORKER_POLL_INTERVAL = 0.2
+
+#: Consecutive unreadable reads of an existing result file before the
+#: transport surfaces it as a failure instead of polling forever.
+_MAX_BAD_RESULT_READS = 50
+
+
+def _utcnow() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class FileQueueSpool:
+    """The on-disk queue: every operation is a single atomic rename/replace."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+        self.tasks_dir = self.root / "tasks"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+        self.log_dir = self.root / "log"
+        for directory in (self.tasks_dir, self.claims_dir, self.results_dir, self.log_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------------------
+
+    def task_path(self, task_id: str) -> Path:
+        return self.tasks_dir / f"{task_id}.task"
+
+    def claim_path(self, task_id: str) -> Path:
+        return self.claims_dir / f"{task_id}.claim"
+
+    def result_path(self, task_id: str) -> Path:
+        return self.results_dir / f"{task_id}.json"
+
+    @property
+    def stop_path(self) -> Path:
+        return self.root / "stop"
+
+    def stop_requested(self) -> bool:
+        """Whether the operator asked the worker fleet to wind down."""
+        return self.stop_path.exists()
+
+    # -- enqueue / claim / release ---------------------------------------------------
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:6]}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def enqueue(self, task_id: str, spec: Any) -> None:
+        """Publish one task (atomically: a worker never sees a torn pickle)."""
+        envelope = {"task_id": task_id, "spec": spec}
+        self._atomic_write(self.task_path(task_id), pickle.dumps(envelope))
+
+    def task_ids(self) -> list[str]:
+        """Pending task ids, oldest submission first (name-sorted)."""
+        return sorted(path.stem for path in self.tasks_dir.glob("*.task"))
+
+    def claim_ids(self) -> list[str]:
+        return sorted(path.stem for path in self.claims_dir.glob("*.claim"))
+
+    def claim(self, task_id: str) -> Path | None:
+        """Lease ``task_id``: atomic rename out of ``tasks/``; ``None`` if lost.
+
+        Exactly one concurrent claimant can win — everyone else's rename
+        raises ``FileNotFoundError``.
+        """
+        source = self.task_path(task_id)
+        target = self.claim_path(task_id)
+        try:
+            os.rename(source, target)
+        except OSError:
+            return None
+        return target
+
+    def heartbeat(self, task_id: str) -> bool:
+        """Refresh the lease (claim mtime); False when the claim vanished."""
+        try:
+            os.utime(self.claim_path(task_id))
+        except OSError:
+            return False
+        return True
+
+    def release(self, task_id: str) -> None:
+        """Drop the lease after the result is safely on disk."""
+        self.claim_path(task_id).unlink(missing_ok=True)
+
+    def reclaim_stale(self, lease_timeout: float, now: float | None = None) -> list[str]:
+        """Requeue every claim whose lease expired; returns the requeued ids.
+
+        A stale claim with a result is a worker that died *after* finishing —
+        the claim is dropped and the result stands.  A stale claim without
+        one is a worker that died mid-job — the task goes back to ``tasks/``
+        (single-winner rename, so concurrent reclaimers cannot double-queue).
+        """
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        for claim in self.claims_dir.glob("*.claim"):
+            try:
+                age = now - claim.stat().st_mtime
+            except OSError:
+                continue  # released under us
+            if age <= lease_timeout:
+                continue
+            task_id = claim.stem
+            if self.result_path(task_id).exists():
+                claim.unlink(missing_ok=True)
+                continue
+            try:
+                os.rename(claim, self.task_path(task_id))
+            except OSError:
+                continue  # another reclaimer (or the worker finishing) won
+            requeued.append(task_id)
+        return requeued
+
+    # -- results and logs ------------------------------------------------------------
+
+    def write_result(self, task_id: str, record: dict[str, Any]) -> None:
+        """Publish one outcome atomically (readers see all of it or none).
+
+        Encoded like the result cache's own files (numpy scalars/arrays in a
+        payload serialise cleanly), so any kind that caches also transports.
+        """
+        from repro.utils.io import _NumpyJSONEncoder
+
+        data = json.dumps(record, sort_keys=True, cls=_NumpyJSONEncoder).encode("utf-8")
+        self._atomic_write(self.result_path(task_id), data)
+
+    def read_result(self, task_id: str) -> dict[str, Any] | None:
+        """The outcome of ``task_id``, or ``None`` when absent/unreadable."""
+        try:
+            text = self.result_path(task_id).read_text(encoding="utf-8")
+            record = json.loads(text)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def remove_task(self, task_id: str) -> None:
+        self.task_path(task_id).unlink(missing_ok=True)
+
+    def log(self, worker_id: str, record: dict[str, Any]) -> None:
+        """Append one execution record to the worker's JSONL log."""
+        path = self.log_dir / f"{worker_id}.jsonl"
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+
+
+class _LeaseHeartbeat:
+    """Touches a claim file periodically while its job executes."""
+
+    def __init__(self, spool: FileQueueSpool, task_id: str, interval: float):
+        self._spool = spool
+        self._task_id = task_id
+        self._interval = max(0.01, float(interval))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{task_id[:12]}", daemon=True
+        )
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._spool.heartbeat(self._task_id):
+                return  # claim vanished (batch cancelled / lease reclaimed)
+
+
+class FileQueueWorker:
+    """One worker: claim a task, execute it, publish the result, repeat.
+
+    The same loop serves the ``repro-worker`` daemon (via :meth:`serve`) and
+    in-process tests (via :meth:`run_once`).  ``execute`` is injectable so
+    tests can steer timing and failures; the default resolves each spec's
+    registered executor through :func:`repro.engine.core.execute_job`.
+    """
+
+    def __init__(
+        self,
+        spool: FileQueueSpool | str | Path,
+        worker_id: str | None = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        heartbeat_interval: float | None = None,
+        poll_interval: float = DEFAULT_WORKER_POLL_INTERVAL,
+        execute: Callable[[Any], Any] | None = None,
+    ):
+        self.spool = spool if isinstance(spool, FileQueueSpool) else FileQueueSpool(spool)
+        self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.lease_timeout = float(lease_timeout)
+        if self.lease_timeout <= 0:
+            raise EngineError(f"lease_timeout must be positive, got {lease_timeout}")
+        self.heartbeat_interval = (
+            min(1.0, self.lease_timeout / 4.0)
+            if heartbeat_interval is None
+            else float(heartbeat_interval)
+        )
+        self.poll_interval = float(poll_interval)
+        self._execute = execute
+        self.executed = 0
+        self.failed = 0
+
+    def _run_spec(self, spec: Any) -> Any:
+        if self._execute is not None:
+            return self._execute(spec)
+        from repro.engine.core import execute_job  # late: registers built-in kinds
+
+        return execute_job(spec)
+
+    def run_once(self) -> str | None:
+        """Claim and fully process one task; returns its id (None when idle)."""
+        for task_id in self.spool.task_ids():
+            claim = self.spool.claim(task_id)
+            if claim is None:
+                continue  # lost the race to another worker
+            if self.spool.read_result(task_id) is not None:
+                # A previous owner died between writing the result and
+                # releasing the claim, and the task was reclaimed: the result
+                # stands, nothing re-executes.
+                self.spool.release(task_id)
+                continue
+            self._process(task_id, claim)
+            return task_id
+        return None
+
+    def _process(self, task_id: str, claim: Path) -> None:
+        started = time.time()
+        record: dict[str, Any] = {"task_id": task_id, "worker_id": self.worker_id}
+        spec = None
+        try:
+            envelope = pickle.loads(claim.read_bytes())
+            spec = envelope["spec"]
+        except Exception as exc:
+            # A poison task (unpicklable spec, unknown class in this worker's
+            # environment) must produce a *result*, or it would bounce between
+            # reclamation and claiming forever.
+            record.update(
+                status="failed",
+                error_type=type(exc).__name__,
+                error_message=f"cannot load task envelope: {exc}",
+            )
+        if spec is not None:
+            record["spec_hash"] = getattr(spec, "content_hash", lambda: task_id)()
+            record["kind"] = getattr(spec, "kind", "fold")
+            with _LeaseHeartbeat(self.spool, task_id, self.heartbeat_interval):
+                try:
+                    outcome = self._run_spec(spec)
+                    record.update(status="completed", payload=outcome.to_payload())
+                except Exception as exc:
+                    record.update(
+                        status="failed",
+                        error_type=type(exc).__name__,
+                        error_message=str(exc),
+                    )
+        try:
+            self.spool.write_result(task_id, record)
+        except (TypeError, ValueError) as exc:
+            # An unserialisable payload must still resolve the task, exactly
+            # like a poison task — otherwise the write failure would kill the
+            # worker and the reclaimed task would kill the next one too.
+            record = {
+                "task_id": task_id,
+                "worker_id": self.worker_id,
+                "spec_hash": record.get("spec_hash"),
+                "kind": record.get("kind"),
+                "status": "failed",
+                "error_type": type(exc).__name__,
+                "error_message": f"result payload is not JSON-serialisable: {exc}",
+            }
+            self.spool.write_result(task_id, record)
+        if record["status"] == "completed":
+            self.executed += 1
+        else:
+            self.failed += 1
+        self.spool.log(
+            self.worker_id,
+            {
+                "event": "executed",
+                "worker_id": self.worker_id,
+                "task_id": task_id,
+                "spec_hash": record.get("spec_hash"),
+                "kind": record.get("kind"),
+                "status": record["status"],
+                "duration_s": round(time.time() - started, 6),
+                "finished_at": _utcnow(),
+            },
+        )
+        self.spool.release(task_id)
+
+    def serve(
+        self, max_jobs: int | None = None, idle_exit: float | None = None
+    ) -> int:
+        """Process tasks until told to stop; returns the number processed.
+
+        Stops when the spool's ``stop`` sentinel appears, after ``max_jobs``
+        tasks, or after ``idle_exit`` seconds without work.  Between tasks the
+        worker also reclaims stale leases, so any member of the fleet can
+        recover another member's crash.
+        """
+        processed = 0
+        idle_since = time.monotonic()
+        while True:
+            if self.spool.stop_requested():
+                logger.info("worker %s: stop sentinel found, exiting", self.worker_id)
+                break
+            if max_jobs is not None and processed >= max_jobs:
+                break
+            task_id = self.run_once()
+            if task_id is not None:
+                processed += 1
+                idle_since = time.monotonic()
+                continue
+            if self.spool.reclaim_stale(self.lease_timeout):
+                continue
+            if idle_exit is not None and time.monotonic() - idle_since > idle_exit:
+                logger.info("worker %s: idle for %.1fs, exiting", self.worker_id, idle_exit)
+                break
+            time.sleep(self.poll_interval)
+        return processed
+
+
+class FileQueueTransport(Transport):
+    """Submit one engine batch to the spool and harvest the fleet's results.
+
+    ``workers > 0`` spawns that many local ``repro-worker`` daemons for the
+    batch's lifetime (and respawns members that die while work remains, up to
+    ``respawn_limit``); ``workers == 0`` relies entirely on externally
+    launched daemons watching the same spool.
+    """
+
+    name: ClassVar[str] = "filequeue"
+    capabilities: ClassVar[TransportCapabilities] = TransportCapabilities(
+        ordered=False, remote=True, shared_registry=False
+    )
+
+    def __init__(
+        self,
+        spool_dir: str | Path,
+        workers: int = 0,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        poll_interval: float = 0.05,
+        respawn_limit: int = 5,
+    ):
+        self.spool = FileQueueSpool(spool_dir)
+        self.worker_count = max(0, int(workers))
+        self.lease_timeout = float(lease_timeout)
+        self.poll_interval = max(0.005, float(poll_interval))
+        self.respawn_limit = int(respawn_limit)
+        self.batch_id = uuid.uuid4().hex[:8]
+        self.workers: list[subprocess.Popen] = []
+        self.reclaimed = 0
+        self.respawned = 0
+        self._outstanding: dict[str, int] = {}
+        self._bad_reads: dict[str, int] = {}
+        self._log_handles: list[Any] = []
+        self._submitted = False
+        self._cancelled = False
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(self, specs: Sequence[Any]) -> int:
+        if self._submitted:
+            raise EngineError("a transport serves one batch; submit() was already called")
+        if self.spool.stop_requested():
+            # Submitting against a stopped spool can never finish: standing
+            # workers exit on the sentinel and spawned ones die immediately.
+            raise EngineError(
+                f"spool {self.spool.root} has a 'stop' sentinel; remove "
+                f"{self.spool.stop_path} before submitting new batches"
+            )
+        self._submitted = True
+        for index, spec in enumerate(specs):
+            task_id = f"{self.batch_id}-{index:05d}-{spec.content_hash()[:16]}"
+            self.spool.enqueue(task_id, spec)
+            self._outstanding[task_id] = index
+        for _ in range(self.worker_count):
+            self._spawn_worker()
+        if self._outstanding:
+            logger.info(
+                "filequeue %s: enqueued %d tasks under %s (%d spawned workers)",
+                self.batch_id, len(self._outstanding), self.spool.root, len(self.workers),
+            )
+        return len(self._outstanding)
+
+    def _spawn_worker(self) -> None:
+        import repro
+
+        worker_id = f"{self.batch_id}-w{len(self.workers)}-{uuid.uuid4().hex[:4]}"
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        log = (self.spool.log_dir / f"{worker_id}.out").open("ab")
+        self._log_handles.append(log)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli.worker", str(self.spool.root),
+                "--worker-id", worker_id,
+                "--lease-timeout", str(self.lease_timeout),
+                "--poll-interval", str(max(0.02, min(self.poll_interval, 0.5))),
+            ],
+            env=env,
+            stdout=log,
+            stderr=subprocess.STDOUT,
+        )
+        self.workers.append(proc)
+
+    # -- harvesting ------------------------------------------------------------------
+
+    def poll(self, timeout: float | None = None) -> list[Completion]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            completions = self._harvest()
+            if completions or not self._outstanding:
+                return completions
+            self._maintain()
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+            time.sleep(self.poll_interval)
+
+    def _harvest(self) -> list[Completion]:
+        completions: list[Completion] = []
+        for task_id in list(self._outstanding):
+            record = self.spool.read_result(task_id)
+            if record is None:
+                if self.spool.result_path(task_id).exists():
+                    # Atomic writes make this near-impossible; cap the retries
+                    # so a hand-corrupted result cannot hang the batch.
+                    self._bad_reads[task_id] = self._bad_reads.get(task_id, 0) + 1
+                    if self._bad_reads[task_id] >= _MAX_BAD_RESULT_READS:
+                        index = self._outstanding.pop(task_id)
+                        completions.append((
+                            index, None,
+                            RemoteJobError("SpoolError", f"unreadable result file for {task_id}"),
+                        ))
+                continue
+            index = self._outstanding.pop(task_id)
+            completions.append(self._completion(index, task_id, record))
+        return completions
+
+    def _completion(self, index: int, task_id: str, record: dict[str, Any]) -> Completion:
+        worker = record.get("worker_id")
+        if record.get("status") == "completed":
+            from repro.engine.jobs import result_from_payload
+
+            try:
+                outcome = result_from_payload(record["payload"])
+            except Exception as exc:
+                return (
+                    index, None,
+                    RemoteJobError(
+                        "SpoolError",
+                        f"cannot rebuild result of {task_id}: {type(exc).__name__}: {exc}",
+                        worker,
+                    ),
+                )
+            # Executed remotely, not served from the result cache: the session
+            # caches and journals it exactly like a pool completion.
+            outcome.from_cache = False
+            return (index, outcome, None)
+        return (
+            index, None,
+            RemoteJobError(
+                record.get("error_type") or "Error",
+                record.get("error_message") or "remote job failed",
+                worker,
+            ),
+        )
+
+    def _maintain(self) -> None:
+        """Between harvests: recover stale leases, keep the spawned fleet alive."""
+        self.reclaimed += len(self.spool.reclaim_stale(self.lease_timeout))
+        if not self.workers or not self._outstanding:
+            return
+        for i, proc in enumerate(self.workers):
+            if proc.poll() is None:
+                continue
+            self.respawned += 1
+            if self.respawned > self.respawn_limit:
+                raise EngineError(
+                    f"filequeue {self.batch_id}: spawned workers died "
+                    f"{self.respawned} times (exit code {proc.returncode}); "
+                    f"see {self.spool.log_dir} for worker output"
+                )
+            logger.warning(
+                "filequeue %s: worker exited with code %s while %d tasks remain; respawning",
+                self.batch_id, proc.returncode, len(self._outstanding),
+            )
+            del self.workers[i]
+            self._spawn_worker()
+            break  # list mutated; the next _maintain pass checks the rest
+
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    # -- teardown --------------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Withdraw unfinished tasks and stop the workers this batch spawned.
+
+        Results already on disk stay (they are an audit trail, and identical
+        bytes would be regenerated anyway); external daemons keep serving
+        other batches.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        for task_id in self._outstanding:
+            self.spool.remove_task(task_id)
+            self.spool.release(task_id)
+        self._outstanding.clear()
+        for proc in self.workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.workers:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        for handle in self._log_handles:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._log_handles.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Batch-level counters (for logs and the transport test battery)."""
+        return {
+            "batch_id": self.batch_id,
+            "outstanding": len(self._outstanding),
+            "reclaimed": self.reclaimed,
+            "respawned": self.respawned,
+            "spawned_workers": len(self.workers),
+        }
+
+
+def _build_filequeue(config: Any, processes: int) -> FileQueueTransport:
+    spool_dir = getattr(config, "spool_dir", None)
+    if not spool_dir:
+        raise EngineError(
+            "transport 'filequeue' needs a spool directory: set config.spool_dir"
+        )
+    workers = getattr(config, "transport_workers", None)
+    if workers is None:
+        workers = max(0, int(processes))
+    return FileQueueTransport(
+        spool_dir,
+        workers=workers,
+        lease_timeout=getattr(config, "transport_lease_timeout", DEFAULT_LEASE_TIMEOUT),
+        poll_interval=getattr(config, "transport_poll_interval", 0.05),
+    )
+
+
+register_transport("filequeue", _build_filequeue)

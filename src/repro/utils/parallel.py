@@ -19,7 +19,7 @@ The helpers here follow the idioms of the mpi4py / scientific-python guides:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
@@ -70,51 +70,26 @@ def parallel_map(
         return list(pool.map(func, items, chunksize=chunk_size))
 
 
-def completion_stream(
-    func: Callable[[T], R],
-    items: Iterable[T],
-    processes: int | None = None,
-    initializer: Callable[..., None] | None = None,
-    initargs: tuple = (),
+def serial_stream(
+    func: Callable[[T], R], items: Iterable[T]
 ) -> Iterator[tuple[int, R | None, BaseException | None]]:
-    """Yield ``(index, result, exception)`` triples as items finish.
+    """Yield ``(index, result, exception)`` triples serially, in order.
 
-    The incremental counterpart of :func:`parallel_map`, used by the engine's
-    streaming sessions: exactly one triple is yielded per item, with either
-    ``result`` or ``exception`` set.  With more than one process, triples
-    arrive in *completion* order (one future per item, no chunking); serially
-    they arrive in submission order, and an exception does not stop the
-    stream — isolation is the caller's policy decision.
-
-    Closing the generator early (``break`` in the consumer) cancels items that
-    have not started; items already running finish on their workers but are
-    never yielded.
+    The streaming primitive behind the engine's ``serial`` executor
+    transport (:mod:`repro.engine.transports`): exactly one triple per item,
+    with either ``result`` or ``exception`` set — an exception never stops
+    the stream, isolation is the caller's policy decision.  The concurrent
+    counterpart (completion-order triples over a process pool) is
+    ``PoolTransport``, which owns its pool lifecycle to support the
+    transport protocol's submit/poll/cancel semantics.
     """
-    items = list(items)
-    if not items:
-        return
-    if processes is None:
-        processes = default_worker_count()
-    if processes <= 1 or len(items) == 1:
-        for i, item in enumerate(items):
-            try:
-                result = func(item)
-            except Exception as exc:
-                yield i, None, exc
-            else:
-                yield i, result, None
-        return
-    pool = ProcessPoolExecutor(max_workers=processes, initializer=initializer, initargs=initargs)
-    try:
-        futures = {pool.submit(func, item): i for i, item in enumerate(items)}
-        for future in as_completed(futures):
-            exc = future.exception()
-            if exc is not None:
-                yield futures[future], None, exc
-            else:
-                yield futures[future], future.result(), None
-    finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+    for i, item in enumerate(items):
+        try:
+            result = func(item)
+        except Exception as exc:
+            yield i, None, exc
+        else:
+            yield i, result, None
 
 
 @dataclass

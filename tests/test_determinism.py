@@ -6,7 +6,10 @@ One mixed fold / baseline-fold / dock batch — including an in-batch duplicate
 * serially (the reference run),
 * on a 2-worker and a 4-worker process pool,
 * against a cold then a warm persistent cache,
-* interrupted partway and resumed by a brand-new engine over the journal.
+* interrupted partway and resumed by a brand-new engine over the journal,
+* on the distributed file-queue transport with a 2-daemon worker fleet —
+  cold, and with one fleet member SIGKILLed mid-sweep followed by an
+  interrupt and a cross-engine resume.
 
 Every mode must produce results *bit-identical* to the reference, asserted on
 the canonical JSON serialisation of each result payload (the same bytes the
@@ -129,11 +132,73 @@ def test_interrupted_then_resumed_run_is_bit_identical_to_serial(
     assert final_engine.stats()["executed_jobs"] == 0
 
 
+def _filequeue_config(tmp_path, **updates) -> PipelineConfig:
+    """CONFIG on the distributed transport with a 2-daemon spawned fleet."""
+    return CONFIG.with_updates(
+        transport="filequeue",
+        spool_dir=str(tmp_path / "spool"),
+        transport_workers=2,
+        transport_lease_timeout=5.0,
+        transport_poll_interval=0.02,
+        **updates,
+    )
+
+
+def test_filequeue_two_worker_fleet_is_bit_identical_to_serial(reference_run, tmp_path):
+    """The distributed clause: a 2-daemon repro-worker fleet over a shared
+    spool directory reproduces the serial reference bit-for-bit."""
+    engine = Engine(config=_filequeue_config(tmp_path))
+    assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+    assert engine.stats()["executed_jobs"] == 5  # the duplicate never executes
+
+
+def test_filequeue_worker_kill_then_resume_is_bit_identical_to_serial(
+    reference_run, tmp_path
+):
+    """SIGKILL one fleet member mid-sweep, interrupt the stream, resume from a
+    brand-new engine: still bit-identical, and completed jobs never re-run."""
+    config = _filequeue_config(
+        tmp_path,
+        session_dir=str(tmp_path / "sessions"),
+        cache_dir=str(tmp_path / "cache"),
+    )
+    engine = Engine(config=config)
+    session = engine.submit(_mixed_jobs(engine), session_id="fq-kill")
+    stream = iter(session)
+    next(stream)  # at least one outcome landed, so the fleet is live
+    session.transport.workers[0].kill()  # SIGKILL mid-sweep; lease goes stale
+    next(stream)
+    next(stream)
+    session.close()  # interrupt: abandon the stream with work outstanding
+
+    journal = SessionJournal.open(config.session_dir, "fq-kill")
+    completed_before = len(journal.completed)
+    assert 0 < completed_before < 5
+
+    resumed_engine = Engine(config=config)
+    resumed = resumed_engine.submit(session_id="fq-kill")
+    assert _canonical(resumed.results()) == reference_run
+    # Every journalled completion replayed from the cache; only the remainder
+    # executed (on a fresh worker fleet), and nothing executed twice.
+    assert resumed.summary()["cached"] == completed_before
+    assert resumed_engine.stats()["executed_jobs"] == 5 - completed_before
+    assert resumed_engine.stats()["failed_jobs"] == 0
+
+
 def test_session_knobs_never_enter_job_hashes():
-    """session_dir / on_error are orchestration detail: no cache invalidation."""
+    """session_dir / on_error / transport knobs are orchestration detail:
+    switching transports (or retuning the fleet) must not invalidate caches."""
     engine = Engine(config=CONFIG)
     tweaked = Engine(
-        config=CONFIG.with_updates(session_dir="/elsewhere", on_error="raise")
+        config=CONFIG.with_updates(
+            session_dir="/elsewhere",
+            on_error="raise",
+            transport="filequeue",
+            spool_dir="/spool/elsewhere",
+            transport_workers=7,
+            transport_lease_timeout=1.5,
+            transport_poll_interval=0.5,
+        )
     )
     for base_job, tweaked_job in zip(_mixed_jobs(engine), _mixed_jobs(tweaked)):
         assert base_job.content_hash() == tweaked_job.content_hash()

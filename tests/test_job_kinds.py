@@ -4,6 +4,7 @@ cross-kind hashing, LRU cache bounds, and the warm-cache batch guarantee."""
 from __future__ import annotations
 
 import hashlib
+import random
 import time
 
 import numpy as np
@@ -137,6 +138,124 @@ def test_dock_hash_covers_dock_knobs_and_inputs(job_config, dock_inputs):
     assert other.content_hash() != base.content_hash()
 
 
+# -- property-based hashing (seeded random spec generators, no new deps) -------------
+#
+# Each property sweeps ~25 seeded-random specs: content hashes must be stable
+# under any construction order, must differ across kinds on identical
+# payloads, and must ignore every session/transport-only orchestration knob.
+
+_AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+#: The config fields that are pure orchestration: mutating any of them (to an
+#: arbitrary valid value) must leave every job hash unchanged.
+_ORCHESTRATION_MUTATIONS = {
+    "engine_workers": lambda rng: rng.randrange(0, 16),
+    "cache_dir": lambda rng: f"/cache/{rng.randrange(1 << 30):x}",
+    "cache_max_bytes": lambda rng: rng.choice([None, rng.randrange(1, 1 << 20)]),
+    "cache_eviction": lambda rng: rng.choice(["lru", "fifo"]),
+    "session_dir": lambda rng: f"/sessions/{rng.randrange(1 << 30):x}",
+    "on_error": lambda rng: rng.choice(["isolate", "raise"]),
+    "transport": lambda rng: rng.choice(["auto", "serial", "pool", "filequeue"]),
+    "spool_dir": lambda rng: f"/spool/{rng.randrange(1 << 30):x}",
+    "transport_workers": lambda rng: rng.choice([None, rng.randrange(0, 8)]),
+    "transport_lease_timeout": lambda rng: rng.uniform(0.1, 120.0),
+    "transport_poll_interval": lambda rng: rng.uniform(0.005, 1.0),
+}
+
+
+def _random_identity(rng: random.Random) -> tuple[str, str]:
+    pdb_id = "".join(rng.choices("0123456789abcdefghijklmnopqrstuvwxyz", k=4))
+    sequence = "".join(rng.choices(_AMINO, k=rng.randrange(3, 9)))
+    return pdb_id, sequence
+
+
+def _random_config_fields(rng: random.Random) -> dict:
+    return {
+        "vqe_iterations": rng.randrange(1, 300),
+        "optimisation_shots": rng.randrange(16, 4096),
+        "final_shots": rng.randrange(64, 100_000),
+        "docking_seeds": rng.randrange(1, 20),
+        "docking_mc_steps": rng.randrange(10, 2000),
+        "seed": rng.randrange(1, 1 << 31),
+        "extra": {f"k{j}": rng.randrange(100) for j in range(rng.randrange(0, 4))},
+    }
+
+
+def _specs_for(config: PipelineConfig, pdb_id: str, sequence: str) -> list:
+    return [
+        JobSpec(pdb_id=pdb_id, sequence=sequence, config=config),
+        BaselineFoldSpec(pdb_id=pdb_id, sequence=sequence, method="AF2", config=config),
+        BaselineFoldSpec(pdb_id=pdb_id, sequence=sequence, method="AF3", config=config),
+    ]
+
+
+def test_property_hashes_are_stable_across_field_insertion_order():
+    """The same logical config, assembled in any order (one-shot kwargs vs.
+    field-by-field with_updates, extra dict in reversed insertion order),
+    hashes every kind of spec identically."""
+    for seed in range(25):
+        rng = random.Random(seed)
+        pdb_id, sequence = _random_identity(rng)
+        fields = _random_config_fields(rng)
+
+        one_shot = PipelineConfig(**fields)
+        rebuilt = PipelineConfig()
+        items = list(fields.items())
+        rng.shuffle(items)
+        for name, value in items:
+            if name == "extra":
+                value = dict(reversed(list(value.items())))
+            rebuilt = rebuilt.with_updates(**{name: value})
+
+        for a, b in zip(_specs_for(one_shot, pdb_id, sequence),
+                        _specs_for(rebuilt, pdb_id, sequence)):
+            assert a.content_hash() == b.content_hash(), f"seed {seed}"
+
+
+def test_property_hashes_differ_across_kinds_on_identical_payloads():
+    """One identity + one config, hashed as every kind: the schema version
+    leads each hash, so kinds can never collide (and all specs in the pool
+    are pairwise distinct)."""
+    pool: set[str] = set()
+    for seed in range(25):
+        rng = random.Random(1000 + seed)
+        pdb_id, sequence = _random_identity(rng)
+        config = PipelineConfig(**_random_config_fields(rng))
+        hashes = [spec.content_hash() for spec in _specs_for(config, pdb_id, sequence)]
+        assert len(set(hashes)) == len(hashes), f"seed {seed}: kinds collided"
+        pool.update(hashes)
+    assert len(pool) == 25 * 3  # no accidental collisions across the sweep
+
+
+def test_property_hashes_ignore_session_and_transport_knobs(dock_inputs):
+    """Random mutations of every orchestration-only knob leave every kind's
+    hash unchanged, while touching the master seed changes them all."""
+    reference, ligand = dock_inputs
+    for seed in range(25):
+        rng = random.Random(2000 + seed)
+        pdb_id, sequence = _random_identity(rng)
+        config = PipelineConfig(**_random_config_fields(rng))
+        mutated = config
+        for name in rng.sample(list(_ORCHESTRATION_MUTATIONS),
+                               k=rng.randrange(1, len(_ORCHESTRATION_MUTATIONS) + 1)):
+            mutated = mutated.with_updates(**{name: _ORCHESTRATION_MUTATIONS[name](rng)})
+
+        base_specs = _specs_for(config, pdb_id, sequence) + [
+            DockSpec(pdb_id=pdb_id, receptor_id="r", receptor=reference.structure,
+                     ligand=ligand, config=config),
+        ]
+        tweaked_specs = _specs_for(mutated, pdb_id, sequence) + [
+            DockSpec(pdb_id=pdb_id, receptor_id="r", receptor=reference.structure,
+                     ligand=ligand, config=mutated),
+        ]
+        for a, b in zip(base_specs, tweaked_specs):
+            assert a.content_hash() == b.content_hash(), f"seed {seed}"
+
+        reseeded = mutated.with_updates(seed=config.seed + 1)
+        for a, b in zip(base_specs, _specs_for(reseeded, pdb_id, sequence)):
+            assert a.content_hash() != b.content_hash(), f"seed {seed}"
+
+
 # -- baseline jobs through the engine ------------------------------------------------
 
 
@@ -266,6 +385,50 @@ def test_fifo_eviction_ignores_access_recency(tmp_path):
     cache.put(k3, _fake_payload(k3, 128))
     assert k1 not in cache
     assert k2 in cache and k3 in cache
+
+
+def test_prune_spares_entries_rewritten_at_the_eviction_window(tmp_path):
+    """Crash-consistency of prune vs. a concurrent writer: the ``_before_evict``
+    hook interleaves a second cache handle at the exact race point.  An entry
+    that vanished under a concurrent pruner is skipped (not counted as our
+    eviction), and an entry re-written since the scan is spared — the fresh
+    payload must survive the prune."""
+    k1, k2, k3 = _keys(3)
+    pruner = ResultCache(tmp_path)
+    writer = ResultCache(tmp_path)
+    for key in (k1, k2, k3):
+        pruner.put(key, _fake_payload(key, 128))
+        time.sleep(0.02)  # deterministic eviction order: k1 oldest
+
+    rewritten = _fake_payload(k2, 400)
+
+    def interleave(entry):
+        if entry.key == k1:
+            entry.path.unlink()  # a concurrent pruner evicted it first
+        elif entry.key == k2:
+            time.sleep(0.02)
+            writer.put(k2, rewritten)  # a concurrent writer re-writes it now
+
+    pruner._before_evict = interleave
+    evicted = pruner.prune(0)  # bound 0: tries to evict everything scanned
+
+    assert evicted == [k3]  # k1 vanished (not ours), k2 was spared
+    assert pruner.stats.evictions == 1
+    assert k1 not in pruner and k3 not in pruner
+    assert pruner.get(k2) == rewritten  # the fresh write survived the prune
+
+
+def test_prune_tolerates_every_entry_vanishing(tmp_path):
+    """A racing ``clear()`` between scan and eviction must not error or
+    miscount: nothing is left, nothing was 'evicted' by this prune."""
+    cache = ResultCache(tmp_path)
+    other = ResultCache(tmp_path)
+    for key in _keys(3):
+        cache.put(key, _fake_payload(key, 64))
+    cache._before_evict = lambda entry: other.clear()
+    assert cache.prune(0) == []
+    assert cache.stats.evictions == 0
+    assert len(cache) == 0
 
 
 def test_cache_rejects_unknown_eviction_policy(tmp_path):

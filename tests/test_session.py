@@ -5,6 +5,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
+import shutil
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import ClassVar
@@ -335,6 +337,116 @@ def test_journalled_complete_but_uncached_job_reexecutes(session_engine):
     assert EXECUTED == ["a"]  # journalled complete, but there is nothing to replay
     assert isinstance(outcomes[0], FlakyResult)
     assert fresh.stats()["executed_jobs"] == 1
+
+
+# -- journal fuzzing: torn/garbled tails never crash or re-execute -------------------
+
+
+def _garble_tail(rng: random.Random, data: bytes, protect: int) -> bytes:
+    """Randomly damage the journal's tail (never the first ``protect`` bytes).
+
+    Models everything a dying process / torn filesystem can leave behind:
+    truncation mid-record, flipped bytes, appended garbage, a torn JSON
+    prefix, and a duplicated partial line.
+    """
+    tail_start = max(protect, len(data) - 200)
+    for _ in range(rng.randrange(1, 4)):
+        op = rng.choice(["truncate", "flip", "garbage", "torn_json", "dup_partial"])
+        if op == "truncate" and len(data) > tail_start:
+            data = data[: rng.randrange(tail_start, len(data))]
+        elif op == "flip" and len(data) > tail_start:
+            flipped = bytearray(data)
+            for _ in range(rng.randrange(1, 6)):
+                pos = rng.randrange(tail_start, len(flipped))
+                flipped[pos] = rng.randrange(256)
+            data = bytes(flipped)
+        elif op == "garbage":
+            data += bytes(rng.randrange(256) for _ in range(rng.randrange(1, 40)))
+        elif op == "torn_json":
+            data += b'{"record": "job", "spec_hash": "deadbeef", "status": "comp'
+        elif op == "dup_partial" and len(data) > tail_start:
+            line = data.splitlines(keepends=True)[-1]
+            data += line[: rng.randrange(1, max(2, len(line)))]
+    return data
+
+
+def test_journal_fuzz_resume_never_reexecutes_or_crashes(tmp_path):
+    """~50 seeds of tail damage on a real interrupted session's journal:
+    re-opening never crashes, resume serves every completed (cached) job
+    without re-execution, and the final results stay bit-identical."""
+    from repro.utils.io import _NumpyJSONEncoder
+
+    config = PipelineConfig(
+        seed=9,
+        session_dir=str(tmp_path / "sessions"),
+        cache_dir=str(tmp_path / "cache"),
+    )
+    engine = Engine(config=config)
+    jobs = [
+        engine.baseline_spec("3eax", "RYRDV", "AF2"),
+        engine.baseline_spec("3eax", "RYRDV", "AF3"),
+        engine.baseline_spec("3ckz", "VKDRS", "AF2"),
+        engine.baseline_spec("3ckz", "VKDRS", "AF3"),
+    ]
+    session = engine.submit(jobs, session_id="fuzz")
+    for done, _pair in enumerate(session, start=1):
+        if done == 2:
+            break  # interrupt: 2 completed (and cached), 2 never started
+    session.close()
+
+    reference_engine = Engine(config=PipelineConfig(seed=9))
+    reference = [
+        json.dumps(r.to_payload(), sort_keys=True, cls=_NumpyJSONEncoder)
+        for r in reference_engine.run(jobs)
+    ]
+
+    journal_path = Path(config.session_dir) / "fuzz.jsonl"
+    original = journal_path.read_bytes()
+    header_end = original.index(b"\n") + 1
+    # Snapshot the interrupted run's cache (exactly the 2 completed payloads):
+    # every seed resumes against its own copy, so one seed's executions can
+    # never warm another seed's lookups.
+    cache_snapshot = tmp_path / "cache-snapshot"
+    shutil.copytree(config.cache_dir, cache_snapshot)
+
+    for seed in range(50):
+        rng = random.Random(seed)
+        root = tmp_path / f"fuzz-root-{seed}"
+        root.mkdir()
+        (root / "fuzz.jsonl").write_bytes(_garble_tail(rng, original, header_end))
+        shutil.copy(Path(config.session_dir) / "fuzz.specs.pkl", root / "fuzz.specs.pkl")
+        shutil.copytree(cache_snapshot, root / "cache")
+
+        # Re-opening tolerates any tail damage (the header is intact).
+        reopened = SessionJournal.open(root, "fuzz")
+        assert len(reopened.completed) <= 2
+
+        fresh = Engine(
+            config=config.with_updates(
+                session_dir=str(root), cache_dir=str(root / "cache")
+            )
+        )
+        resumed = fresh.submit(session_id="fuzz")
+        outcomes = resumed.results()
+        canonical = [
+            json.dumps(o.to_payload(), sort_keys=True, cls=_NumpyJSONEncoder)
+            for o in outcomes
+        ]
+        assert canonical == reference, f"seed {seed}: results diverged"
+        # The two completed jobs live in the result cache: whatever the
+        # journal's tail claims, they replay without re-executing.
+        assert resumed.summary()["cached"] == 2, f"seed {seed}"
+        assert fresh.stats()["executed_jobs"] == 2, f"seed {seed}"
+
+    # Destroying the *header* is refused cleanly, never a crash or a re-run.
+    root = tmp_path / "fuzz-root-header"
+    root.mkdir()
+    (root / "fuzz.jsonl").write_bytes(b'{"torn header')
+    shutil.copy(Path(config.session_dir) / "fuzz.specs.pkl", root / "fuzz.specs.pkl")
+    with pytest.raises(EngineError, match="header"):
+        SessionJournal.open(root, "fuzz")
+    with pytest.raises(EngineError):
+        Engine(config=config.with_updates(session_dir=str(root))).submit(session_id="fuzz")
 
 
 # -- cross-process resume through the CLI --------------------------------------------
