@@ -77,6 +77,10 @@ class CacheEntry:
     path: Path
     size_bytes: int
     mtime: float
+    #: Nanosecond mtime, for change detection: float ``st_mtime`` loses
+    #: precision and coarse-granularity filesystems (1s, 2s on exFAT) make
+    #: same-tick rewrites indistinguishable by ``mtime`` alone.
+    mtime_ns: int = 0
 
 
 class ResultCache:
@@ -190,7 +194,10 @@ class ResultCache:
                 stat = path.stat()
             except OSError:
                 continue  # racing writer/pruner
-            found.append(CacheEntry(key=path.stem, path=path, size_bytes=stat.st_size, mtime=stat.st_mtime))
+            found.append(CacheEntry(
+                key=path.stem, path=path, size_bytes=stat.st_size,
+                mtime=stat.st_mtime, mtime_ns=stat.st_mtime_ns,
+            ))
         return sorted(found, key=lambda e: (e.mtime, e.key))
 
     def total_bytes(self) -> int:
@@ -230,9 +237,12 @@ class ResultCache:
             except OSError:
                 total -= entry.size_bytes  # vanished under a concurrent pruner
                 continue
-            if current.st_mtime != entry.mtime:
+            if (current.st_mtime_ns, current.st_size) != (entry.mtime_ns, entry.size_bytes):
                 # Re-written (or LRU-refreshed) since the scan: keep it, and
                 # account for its current size instead of the stale one.
+                # Nanosecond mtime plus size, not float st_mtime: on coarse
+                # filesystems a same-tick rewrite is invisible to st_mtime
+                # and the fresh payload would be evicted anyway.
                 total += current.st_size - entry.size_bytes
                 continue
             try:

@@ -55,12 +55,12 @@ import json
 import pickle
 import uuid
 from dataclasses import dataclass, field
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.jobs import result_from_payload
 from repro.exceptions import EngineError
+from repro.utils.io import utcnow_iso
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -75,10 +75,6 @@ ON_ERROR_POLICIES: tuple[str, ...] = ("isolate", "raise")
 def new_session_id() -> str:
     """A fresh, filesystem-safe session identifier."""
     return uuid.uuid4().hex[:12]
-
-
-def _utcnow() -> str:
-    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 @dataclass(frozen=True)
@@ -176,7 +172,7 @@ class SessionJournal:
             )
         journal.root.mkdir(parents=True, exist_ok=True)
         journal.spec_hashes = [job.content_hash() for job in jobs]
-        journal.created_at = _utcnow()
+        journal.created_at = utcnow_iso()
         with journal.specs_path.open("wb") as fh:
             pickle.dump(list(jobs), fh)
         journal._append(
@@ -313,7 +309,7 @@ class SessionJournal:
     def mark_resumed(self) -> None:
         """Append a resume marker (kept for audit; resume logic keys off job records)."""
         self.resumes += 1
-        self._append({"record": "resume", "resumed_at": _utcnow()})
+        self._append({"record": "resume", "resumed_at": utcnow_iso()})
 
     # -- reporting -------------------------------------------------------------------
 
@@ -415,6 +411,19 @@ class Session:
         return self._stream_gen
 
     def _stream(self) -> Iterator[tuple[Any, Any]]:
+        # An abnormal termination — on_error="raise", or a transport error
+        # such as the filequeue stop-sentinel / respawn-exhausted raise —
+        # must leave the session *closed*: a later results() call on the
+        # dead generator would otherwise return a list with silent None
+        # holes instead of raising the closed-before-finishing error.
+        try:
+            yield from self._run_stream()
+        except BaseException:
+            self._state = "closed"
+            raise
+        self._state = "finished"
+
+    def _run_stream(self) -> Iterator[tuple[Any, Any]]:
         engine = self.engine
         primary: dict[str, int] = {}
         duplicates_of: dict[int, list[int]] = {}
@@ -490,8 +499,6 @@ class Session:
                         error_message=error_message,
                     )
                     yield from self._deliver(i, "failed", duplicates_of)
-
-        self._state = "finished"
 
     def _lookup(self, job: Any, key: str, journalled_done: dict[str, Any]) -> Any | None:
         """Resolve a job without executing it: prior generation, then cache."""

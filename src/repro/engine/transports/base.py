@@ -104,8 +104,12 @@ class Transport(abc.ABC):
         consumer broke out of its ``for`` loop) lands in the ``finally``
         clause and abandons whatever has not completed.
         """
-        self.submit(specs)
         try:
+            # submit() inside the try: a mid-enqueue failure (disk full on a
+            # shared spool at task 500 of 1000) must still reach cancel(), or
+            # the partially enqueued tasks are orphaned for external workers
+            # to execute with nobody harvesting the results.
+            self.submit(specs)
             while self.outstanding() > 0:
                 for completion in self.poll():
                     yield completion

@@ -16,12 +16,19 @@ broker, no sockets and no new dependencies:
     ``claims/<task_id>.claim``
         A **lease**.  A worker claims a task by ``os.rename``-ing it from
         ``tasks/`` into ``claims/`` — rename is atomic, so exactly one
-        claimant wins a race.  While executing, the worker's heartbeat thread
-        touches the claim file; its mtime *is* the lease.  A claim whose
-        mtime is older than the lease timeout belongs to a dead worker and is
-        **reclaimed**: renamed back into ``tasks/`` (again atomic, one
-        reclaimer wins), so a SIGKILLed worker's in-flight job is replayed by
-        the surviving fleet exactly once.
+        claimant wins a race.  The winner immediately touches the claim
+        (rename preserves the enqueue-time mtime; the lease clock must start
+        at *claim* time, or a task that queued longer than the lease timeout
+        would be born stale) and records its worker id in a tiny
+        ``<task_id>.owner`` sidecar.
+        While executing, the worker's heartbeat thread touches the claim
+        file; its mtime *is* the lease.  A claim whose mtime is older than
+        the lease timeout belongs to a dead worker and is **reclaimed**:
+        renamed back into ``tasks/`` (again atomic, one reclaimer wins), so a
+        SIGKILLed worker's in-flight job is replayed by the surviving fleet
+        exactly once.  Heartbeat and release are ownership-checked: a worker
+        whose lease was reclaimed and re-claimed neither refreshes nor
+        unlinks the new owner's claim.
     ``results/<task_id>.json``
         The outcome: the result's cache payload (``to_payload()``) on
         success, or the error type/message on failure — written atomically,
@@ -71,6 +78,7 @@ from repro.engine.transports.base import (
     register_transport,
 )
 from repro.exceptions import EngineError
+from repro.utils.io import utcnow_iso
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -86,11 +94,10 @@ DEFAULT_WORKER_POLL_INTERVAL = 0.2
 #: transport surfaces it as a failure instead of polling forever.
 _MAX_BAD_RESULT_READS = 50
 
-
-def _utcnow() -> str:
-    from datetime import datetime, timezone
-
-    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+#: Seconds without any sign of fleet progress (no completions landing, no
+#: live claims) before the polling transport logs a stall warning — and the
+#: interval at which it repeats while the stall lasts.
+_STALL_WARN_INTERVAL = 15.0
 
 
 class FileQueueSpool:
@@ -112,6 +119,11 @@ class FileQueueSpool:
 
     def claim_path(self, task_id: str) -> Path:
         return self.claims_dir / f"{task_id}.claim"
+
+    def owner_path(self, task_id: str) -> Path:
+        """Ownership sidecar: just the claimant's worker id, a few bytes —
+        so heartbeat/release ownership checks never re-read the spec pickle."""
+        return self.claims_dir / f"{task_id}.owner"
 
     def result_path(self, task_id: str) -> Path:
         return self.results_dir / f"{task_id}.json"
@@ -143,11 +155,17 @@ class FileQueueSpool:
     def claim_ids(self) -> list[str]:
         return sorted(path.stem for path in self.claims_dir.glob("*.claim"))
 
-    def claim(self, task_id: str) -> Path | None:
+    def claim(self, task_id: str, owner: str | None = None) -> Path | None:
         """Lease ``task_id``: atomic rename out of ``tasks/``; ``None`` if lost.
 
         Exactly one concurrent claimant can win — everyone else's rename
-        raises ``FileNotFoundError``.
+        raises ``FileNotFoundError``.  The rename preserves the task file's
+        mtime (the *enqueue* time), so the lease clock is restarted here:
+        a task that waited in the queue longer than the lease timeout must
+        not be born stale and reclaimed out from under its live claimant.
+        With ``owner`` given, the claimant's id is written to an ownership
+        sidecar so :meth:`heartbeat` and :meth:`release` can refuse to act on
+        a lease that was reclaimed and now belongs to another worker.
         """
         source = self.task_path(task_id)
         target = self.claim_path(task_id)
@@ -155,19 +173,58 @@ class FileQueueSpool:
             os.rename(source, target)
         except OSError:
             return None
+        try:
+            os.utime(target)  # one syscall: the born-stale window is minimal
+        except OSError:
+            # The claim vanished in the rename→touch window: a reclaimer saw
+            # the preserved enqueue mtime as stale and requeued the task (or
+            # the batch was cancelled).  The lease is lost — processing the
+            # dangling path would publish a spurious "cannot load task
+            # envelope" failure for a perfectly runnable task.
+            return None
+        if owner is not None:
+            self._atomic_write(self.owner_path(task_id), owner.encode("utf-8"))
         return target
 
-    def heartbeat(self, task_id: str) -> bool:
-        """Refresh the lease (claim mtime); False when the claim vanished."""
+    def claim_owner(self, task_id: str) -> str | None:
+        """The worker id in the ownership sidecar, or ``None`` when it is
+        missing, unreadable, or the claim was taken without an owner."""
+        try:
+            return self.owner_path(task_id).read_text(encoding="utf-8") or None
+        except (OSError, UnicodeDecodeError):
+            return None
+
+    def _owned_by_someone_else(self, task_id: str, owner: str | None) -> bool:
+        if owner is None:
+            return False
+        current = self.claim_owner(task_id)
+        return current is not None and current != owner
+
+    def heartbeat(self, task_id: str, owner: str | None = None) -> bool:
+        """Refresh the lease (claim mtime); False when the claim vanished or
+        (with ``owner`` given) was reclaimed and re-claimed by another worker —
+        a zombie claimant must not keep the new owner's lease alive."""
+        if self._owned_by_someone_else(task_id, owner):
+            return False
         try:
             os.utime(self.claim_path(task_id))
         except OSError:
             return False
         return True
 
-    def release(self, task_id: str) -> None:
-        """Drop the lease after the result is safely on disk."""
+    def release(self, task_id: str, owner: str | None = None) -> bool:
+        """Drop the lease after the result is safely on disk.
+
+        With ``owner`` given, the claim is only unlinked while this worker
+        still owns it: if the lease was reclaimed mid-job and another worker
+        holds it now, unlinking would destroy the *new* owner's live claim
+        and invite a third execution.  Returns whether the claim was dropped.
+        """
+        if self._owned_by_someone_else(task_id, owner):
+            return False
         self.claim_path(task_id).unlink(missing_ok=True)
+        self.owner_path(task_id).unlink(missing_ok=True)
+        return True
 
     def reclaim_stale(self, lease_timeout: float, now: float | None = None) -> list[str]:
         """Requeue every claim whose lease expired; returns the requeued ids.
@@ -189,11 +246,16 @@ class FileQueueSpool:
             task_id = claim.stem
             if self.result_path(task_id).exists():
                 claim.unlink(missing_ok=True)
+                self.owner_path(task_id).unlink(missing_ok=True)
                 continue
             try:
                 os.rename(claim, self.task_path(task_id))
             except OSError:
                 continue  # another reclaimer (or the worker finishing) won
+            # Drop the dead claimant's ownership sidecar: the next claimant
+            # writes its own, and a stale one must not linger if it crashes
+            # before that.
+            self.owner_path(task_id).unlink(missing_ok=True)
             requeued.append(task_id)
         return requeued
 
@@ -233,9 +295,16 @@ class FileQueueSpool:
 class _LeaseHeartbeat:
     """Touches a claim file periodically while its job executes."""
 
-    def __init__(self, spool: FileQueueSpool, task_id: str, interval: float):
+    def __init__(
+        self,
+        spool: FileQueueSpool,
+        task_id: str,
+        interval: float,
+        owner: str | None = None,
+    ):
         self._spool = spool
         self._task_id = task_id
+        self._owner = owner
         self._interval = max(0.01, float(interval))
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -252,7 +321,7 @@ class _LeaseHeartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
-            if not self._spool.heartbeat(self._task_id):
+            if not self._spool.heartbeat(self._task_id, owner=self._owner):
                 return  # claim vanished (batch cancelled / lease reclaimed)
 
 
@@ -299,14 +368,14 @@ class FileQueueWorker:
     def run_once(self) -> str | None:
         """Claim and fully process one task; returns its id (None when idle)."""
         for task_id in self.spool.task_ids():
-            claim = self.spool.claim(task_id)
+            claim = self.spool.claim(task_id, owner=self.worker_id)
             if claim is None:
                 continue  # lost the race to another worker
             if self.spool.read_result(task_id) is not None:
                 # A previous owner died between writing the result and
                 # releasing the claim, and the task was reclaimed: the result
                 # stands, nothing re-executes.
-                self.spool.release(task_id)
+                self.spool.release(task_id, owner=self.worker_id)
                 continue
             self._process(task_id, claim)
             return task_id
@@ -331,7 +400,9 @@ class FileQueueWorker:
         if spec is not None:
             record["spec_hash"] = getattr(spec, "content_hash", lambda: task_id)()
             record["kind"] = getattr(spec, "kind", "fold")
-            with _LeaseHeartbeat(self.spool, task_id, self.heartbeat_interval):
+            with _LeaseHeartbeat(
+                self.spool, task_id, self.heartbeat_interval, owner=self.worker_id
+            ):
                 try:
                     outcome = self._run_spec(spec)
                     record.update(status="completed", payload=outcome.to_payload())
@@ -371,10 +442,13 @@ class FileQueueWorker:
                 "kind": record.get("kind"),
                 "status": record["status"],
                 "duration_s": round(time.time() - started, 6),
-                "finished_at": _utcnow(),
+                "finished_at": utcnow_iso(),
             },
         )
-        self.spool.release(task_id)
+        # Ownership-checked: if the lease was reclaimed mid-job and another
+        # worker holds it now, leave the new owner's claim alone — the result
+        # written above still resolves the task for both of us.
+        self.spool.release(task_id, owner=self.worker_id)
 
     def serve(
         self, max_jobs: int | None = None, idle_exit: float | None = None
@@ -444,6 +518,7 @@ class FileQueueTransport(Transport):
         self._log_handles: list[Any] = []
         self._submitted = False
         self._cancelled = False
+        self._last_activity = time.monotonic()
 
     # -- submission ------------------------------------------------------------------
 
@@ -469,6 +544,16 @@ class FileQueueTransport(Transport):
                 "filequeue %s: enqueued %d tasks under %s (%d spawned workers)",
                 self.batch_id, len(self._outstanding), self.spool.root, len(self.workers),
             )
+            if self.worker_count == 0:
+                # An innocuous config (engine_workers=0, no external daemons)
+                # would otherwise block in poll() forever with no diagnostics.
+                logger.warning(
+                    "filequeue %s: no local workers spawned — the batch relies "
+                    "entirely on external repro-worker daemons watching %s; "
+                    "start one with: repro-worker %s",
+                    self.batch_id, self.spool.root, self.spool.root,
+                )
+        self._last_activity = time.monotonic()
         return len(self._outstanding)
 
     def _spawn_worker(self) -> None:
@@ -510,22 +595,34 @@ class FileQueueTransport(Transport):
 
     def _harvest(self) -> list[Completion]:
         completions: list[Completion] = []
+        # One directory scan per cycle, not an open()+stat() per outstanding
+        # task: a large sweep over a network filesystem (the natural home of
+        # a shared spool) would otherwise pay thousands of round-trips per
+        # poll interval just to learn that nothing landed yet.
+        try:
+            with os.scandir(self.spool.results_dir) as entries:
+                landed = {e.name[: -len(".json")] for e in entries if e.name.endswith(".json")}
+        except OSError:
+            landed = set()
         for task_id in list(self._outstanding):
+            if task_id not in landed:
+                continue
             record = self.spool.read_result(task_id)
             if record is None:
-                if self.spool.result_path(task_id).exists():
-                    # Atomic writes make this near-impossible; cap the retries
-                    # so a hand-corrupted result cannot hang the batch.
-                    self._bad_reads[task_id] = self._bad_reads.get(task_id, 0) + 1
-                    if self._bad_reads[task_id] >= _MAX_BAD_RESULT_READS:
-                        index = self._outstanding.pop(task_id)
-                        completions.append((
-                            index, None,
-                            RemoteJobError("SpoolError", f"unreadable result file for {task_id}"),
-                        ))
+                # Atomic writes make this near-impossible; cap the retries
+                # so a hand-corrupted result cannot hang the batch.
+                self._bad_reads[task_id] = self._bad_reads.get(task_id, 0) + 1
+                if self._bad_reads[task_id] >= _MAX_BAD_RESULT_READS:
+                    index = self._outstanding.pop(task_id)
+                    completions.append((
+                        index, None,
+                        RemoteJobError("SpoolError", f"unreadable result file for {task_id}"),
+                    ))
                 continue
             index = self._outstanding.pop(task_id)
             completions.append(self._completion(index, task_id, record))
+        if completions:
+            self._last_activity = time.monotonic()
         return completions
 
     def _completion(self, index: int, task_id: str, record: dict[str, Any]) -> Completion:
@@ -558,9 +655,24 @@ class FileQueueTransport(Transport):
         )
 
     def _maintain(self) -> None:
-        """Between harvests: recover stale leases, keep the spawned fleet alive."""
+        """Between harvests: recover stale leases, keep the spawned fleet
+        alive, and complain loudly instead of hanging silently."""
         self.reclaimed += len(self.spool.reclaim_stale(self.lease_timeout))
-        if not self.workers or not self._outstanding:
+        if not self._outstanding:
+            return
+        if self.spool.stop_requested():
+            # Workers (spawned and external alike) exit between jobs on the
+            # sentinel, so the rest of the batch can provably never finish —
+            # and spawned replacements would exit immediately too, burning
+            # respawn_limit on a misleading "workers died" error.
+            raise EngineError(
+                f"filequeue {self.batch_id}: spool {self.spool.root} was "
+                f"stopped by an operator ({self.spool.stop_path} exists) with "
+                f"{len(self._outstanding)} tasks outstanding; remove the "
+                "sentinel and resume the session to finish the batch"
+            )
+        self._warn_if_stalled()
+        if not self.workers:
             return
         for i, proc in enumerate(self.workers):
             if proc.poll() is None:
@@ -579,6 +691,23 @@ class FileQueueTransport(Transport):
             del self.workers[i]
             self._spawn_worker()
             break  # list mutated; the next _maintain pass checks the rest
+
+    def _warn_if_stalled(self) -> None:
+        """Log (periodically) when nothing is completing *and* nothing is
+        claimed — the signature of a fleet that is not there at all."""
+        now = time.monotonic()
+        if now - self._last_activity < _STALL_WARN_INTERVAL:
+            return
+        if self.spool.claim_ids():
+            self._last_activity = now  # a worker is mid-job: that is progress
+            return
+        logger.warning(
+            "filequeue %s: no progress for %.0fs — %d tasks pending, no live "
+            "claims, %d spawned workers; are repro-worker daemons watching %s?",
+            self.batch_id, now - self._last_activity, len(self._outstanding),
+            len(self.workers), self.spool.root,
+        )
+        self._last_activity = now  # re-arm: repeat the warning, don't spam it
 
     def outstanding(self) -> int:
         return len(self._outstanding)

@@ -3,10 +3,20 @@
 from __future__ import annotations
 
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+
+def utcnow_iso() -> str:
+    """The current UTC time as a second-precision ISO-8601 string.
+
+    The one timestamp format shared by session journals and worker logs, so
+    records from both sides of a distributed run correlate textually.
+    """
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 class _NumpyJSONEncoder(json.JSONEncoder):

@@ -418,6 +418,30 @@ def test_prune_spares_entries_rewritten_at_the_eviction_window(tmp_path):
     assert pruner.get(k2) == rewritten  # the fresh write survived the prune
 
 
+def test_prune_spares_a_same_tick_rewrite(tmp_path):
+    """On coarse-mtime filesystems (1s ticks, 2s on exFAT) a concurrent
+    rewrite can land with exactly the scanned mtime.  Change detection must
+    compare more than float ``st_mtime`` — here the rewrite is pinned to the
+    scanned entry's nanosecond mtime, and only its size gives it away."""
+    import os
+
+    (key,) = _keys(1)
+    cache = ResultCache(tmp_path)
+    writer = ResultCache(tmp_path)
+    cache.put(key, _fake_payload(key, 64))
+
+    rewritten = _fake_payload(key, 400)
+
+    def same_tick_rewrite(entry):
+        writer.put(key, rewritten)
+        os.utime(entry.path, ns=(entry.mtime_ns, entry.mtime_ns))
+
+    cache._before_evict = same_tick_rewrite
+    assert cache.prune(0) == []  # spared: same mtime tick, different size
+    assert cache.stats.evictions == 0
+    assert cache.get(key) == rewritten
+
+
 def test_prune_tolerates_every_entry_vanishing(tmp_path):
     """A racing ``clear()`` between scan and eviction must not error or
     miscount: nothing is left, nothing was 'evicted' by this prune."""

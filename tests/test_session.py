@@ -140,6 +140,26 @@ def test_on_error_raise_propagates_the_original_exception(session_engine):
     assert [r["error_type"] for r in journal.failed.values()] == ["ValueError"]
 
 
+def test_aborted_stream_closes_the_session_instead_of_none_holes(session_engine):
+    """After on_error="raise" aborts the stream (or a transport raises, e.g.
+    the filequeue stop sentinel), a later results() call must raise the
+    closed-session error — not return a list with silent None holes."""
+    FAIL_NAMES.add("bad")
+    session = session_engine.submit(
+        [FlakySpec("a"), FlakySpec("bad"), FlakySpec("b")],
+        session_id="aborted",
+        on_error="raise",
+    )
+    with pytest.raises(ValueError, match="bad exploded"):
+        session.results()
+    with pytest.raises(EngineError, match="closed before finishing"):
+        session.results()
+    # resume() still works and completes the remainder.
+    FAIL_NAMES.clear()
+    outcomes = session.resume().results()
+    assert [getattr(o, "name", None) for o in outcomes] == ["a", "bad", "b"]
+
+
 def test_unknown_on_error_policy_is_rejected(session_engine):
     with pytest.raises(EngineError):
         session_engine.submit([FlakySpec("a")], on_error="explode")

@@ -11,6 +11,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, ClassVar
 
 import pytest
@@ -243,6 +244,63 @@ def test_heartbeat_refreshes_the_lease_mtime(tmp_path):
     assert not spool.heartbeat("t1")  # no claim left to refresh
 
 
+def test_claim_restarts_the_lease_clock(tmp_path):
+    """Rename preserves the task file's mtime — the *enqueue* time — so a
+    task that queued longer than the lease timeout must be re-stamped at
+    claim time, not reclaimed from its live claimant before the first
+    heartbeat fires (the born-stale duplicate-execution bug)."""
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", EchoSpec("a"))
+    old = time.time() - 100  # waited in the queue far longer than any lease
+    os.utime(spool.task_path("t1"), (old, old))
+    assert spool.claim("t1", owner="w1") is not None
+    assert spool.reclaim_stale(lease_timeout=5.0) == []  # lease is fresh
+    assert spool.claim_ids() == ["t1"]
+    assert spool.claim_owner("t1") == "w1"
+
+
+def test_claim_lost_before_the_lease_touch_returns_none(tmp_path, monkeypatch):
+    """A reclaimer can steal a just-renamed claim in the window before the
+    lease touch lands (the preserved enqueue mtime looks stale).  The
+    claimant must see a lost claim — processing the dangling path would
+    publish a spurious 'cannot load task envelope' failure for a perfectly
+    runnable task."""
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", EchoSpec("a"))
+    real_utime = os.utime
+
+    def reclaimed_under_us(path, *args, **kwargs):
+        claim = spool.claim_path("t1")
+        if Path(path) == claim:
+            claim.rename(spool.task_path("t1"))  # the racing reclaimer
+            raise FileNotFoundError(path)
+        return real_utime(path, *args, **kwargs)
+
+    monkeypatch.setattr(os, "utime", reclaimed_under_us)
+    assert spool.claim("t1", owner="w1") is None
+    assert spool.task_ids() == ["t1"]  # still runnable for the fleet
+    assert spool.read_result("t1") is None  # and nobody poisoned it
+
+
+def test_reclaimed_lease_belongs_to_its_new_owner(tmp_path):
+    """After a reclaim + re-claim, the previous claimant (alive but presumed
+    dead) must neither refresh nor unlink the new owner's claim."""
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", EchoSpec("a"))
+    claim = spool.claim("t1", owner="w1")
+    stale = time.time() - 100
+    os.utime(claim, (stale, stale))  # w1 stops heartbeating (or so it looks)
+    assert spool.reclaim_stale(lease_timeout=5.0) == ["t1"]
+    assert spool.claim("t1", owner="w2") is not None
+    assert spool.claim_owner("t1") == "w2"
+    assert not spool.heartbeat("t1", owner="w1")  # zombie can't extend it
+    assert not spool.release("t1", owner="w1")  # ...or destroy it
+    assert spool.claim_ids() == ["t1"]  # w2's live claim is untouched
+    assert spool.heartbeat("t1", owner="w2")
+    assert spool.release("t1", owner="w2")
+    assert spool.claim_ids() == []
+
+
 # -- the worker loop -----------------------------------------------------------------
 
 
@@ -385,6 +443,38 @@ def test_dead_workers_job_is_replayed_exactly_once(tmp_path):
     assert len(log_lines) == 1  # exactly one completed execution on the fleet
 
 
+def test_zombie_worker_finish_spares_the_new_owners_claim(tmp_path):
+    """A worker whose lease was reclaimed mid-job must not unlink the claim
+    its replacement now holds — that would invite a third execution."""
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", EchoSpec("a"))
+    gate = threading.Event()
+
+    def slow(spec):
+        gate.wait(timeout=5.0)
+        return _fake_execute(spec)
+
+    zombie = FileQueueWorker(
+        spool, worker_id="w1", lease_timeout=5.0, heartbeat_interval=60.0, execute=slow
+    )
+    thread = threading.Thread(target=zombie.run_once, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not spool.claim_ids() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert spool.claim_owner("t1") == "w1"
+    # Mid-job, the lease looks stale (no heartbeat yet) and is stolen:
+    stale = time.time() - 100
+    os.utime(spool.claim_path("t1"), (stale, stale))
+    assert spool.reclaim_stale(lease_timeout=5.0) == ["t1"]
+    assert spool.claim("t1", owner="w2") is not None
+    gate.set()
+    thread.join(timeout=5.0)
+    assert spool.read_result("t1")["status"] == "completed"  # w1 published
+    assert spool.claim_ids() == ["t1"]  # but left w2's live claim alone
+    assert spool.claim_owner("t1") == "w2"
+
+
 def test_worker_serve_honours_stop_sentinel_and_max_jobs(tmp_path):
     spool = FileQueueSpool(tmp_path / "spool")
     spool.stop_path.touch()
@@ -421,6 +511,37 @@ def test_filequeue_transport_refuses_a_stopped_spool(tmp_path):
     with pytest.raises(EngineError, match="stop"):
         transport.submit([_baseline_spec()])
     assert transport.spool.task_ids() == []  # nothing was enqueued
+
+
+def test_filequeue_transport_raises_when_spool_stopped_mid_batch(tmp_path):
+    """A 'stop' sentinel appearing mid-batch means the rest of the batch can
+    never finish; poll must say so instead of burning respawn_limit (spawned
+    workers exit 0 on the sentinel) or hanging forever (external fleets)."""
+    transport = FileQueueTransport(tmp_path / "spool", workers=0, lease_timeout=5.0,
+                                   poll_interval=0.01)
+    transport.submit([_baseline_spec()])
+    transport.spool.stop_path.touch()
+    with pytest.raises(EngineError, match="stopped by an operator"):
+        transport.poll(timeout=1.0)
+    transport.cancel()
+
+
+def test_filequeue_transport_warns_on_external_reliance_and_stall(tmp_path, caplog, monkeypatch):
+    """workers=0 with no external daemons must not hang silently: submit
+    warns about the reliance and poll warns periodically while stalled."""
+    import repro.engine.transports.filequeue as fq
+
+    monkeypatch.setattr(fq, "_STALL_WARN_INTERVAL", 0.05)
+    monkeypatch.setattr(fq.logger, "propagate", True)  # let caplog see it
+    transport = FileQueueTransport(tmp_path / "spool", workers=0, lease_timeout=5.0,
+                                   poll_interval=0.01)
+    with caplog.at_level("WARNING", logger=fq.logger.name):
+        transport.submit([_baseline_spec()])
+        assert transport.poll(timeout=0.3) == []
+    messages = [record.getMessage() for record in caplog.records]
+    assert any("relies entirely on external repro-worker daemons" in m for m in messages)
+    assert any("no progress for" in m for m in messages)
+    transport.cancel()
 
 
 def test_filequeue_transport_end_to_end_with_inprocess_worker(tmp_path):
