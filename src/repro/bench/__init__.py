@@ -1,0 +1,32 @@
+"""The ``repro-bench`` benchmark suite and ``BENCH_<n>.json`` trajectory."""
+
+from repro.bench.suite import BENCHMARKS, run_suite
+from repro.bench.trajectory import (
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    compare_reports,
+    find_previous_report,
+    load_report,
+    machine_fingerprint,
+    medians_comparable,
+    next_bench_id,
+    regressions,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCH_SCHEMA_VERSION",
+    "build_report",
+    "compare_reports",
+    "find_previous_report",
+    "load_report",
+    "machine_fingerprint",
+    "medians_comparable",
+    "next_bench_id",
+    "regressions",
+    "run_suite",
+    "validate_report",
+    "write_report",
+]

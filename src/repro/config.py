@@ -100,6 +100,26 @@ class PipelineConfig:
         worker and is requeued (stale-lease reclamation).
     transport_poll_interval:
         Seconds between the submitting transport's spool scans.
+    docking_batch:
+        Whether Monte-Carlo pose search advances its restart walkers in
+        lock-step, scoring every walker's proposal in one batched
+        ``score_coords_batch`` call.  The batched and scalar paths are
+        bit-identical (the determinism harness asserts it), so this knob is
+        pure speed and never enters any job hash.
+    quantum_compiled_plans:
+        Whether statevector-backed VQE evaluations reuse a compiled replay
+        plan of the ansatz structure instead of re-binding and re-walking the
+        circuit every optimiser iteration.  Bit-identical either way; never
+        enters any job hash.
+    expectation_cache_entries:
+        Optional cap on the diagonal-expectation energy cache (FIFO eviction
+        beyond the cap).  ``None`` (the default) leaves it unbounded.
+        Eviction only ever costs recompute time, never correctness.
+    bench_repeats:
+        Repeats per benchmark in the ``repro-bench`` suite (median/p10/p90
+        are reported over these).
+    bench_pose_batch:
+        Pose-batch size used by the docking-throughput benchmark.
     """
 
     vqe_iterations: int = 60
@@ -126,6 +146,11 @@ class PipelineConfig:
     transport_workers: int | None = None
     transport_lease_timeout: float = 30.0
     transport_poll_interval: float = 0.05
+    docking_batch: bool = True
+    quantum_compiled_plans: bool = True
+    expectation_cache_entries: int | None = None
+    bench_repeats: int = 5
+    bench_pose_batch: int = 128
     #: CVaR fraction used by the stage-1 objective (1.0 = plain expectation).
     cvar_alpha: float = 0.2
     #: Cap applied to the width-scaled stage-2 shot count.

@@ -8,8 +8,16 @@ cutoff on the *surface distance* (centre distance minus the sum of van der
 Waals radii), divided by ``1 + w_rot · N_rot`` to penalise ligand flexibility.
 The published Vina term weights are used.  Scores are reported in kcal/mol.
 
-All pairwise terms are evaluated with a single broadcast distance matrix and
+All pairwise terms are evaluated with a single broadcast distance tensor and
 boolean masks — there is no per-atom Python loop on the scoring hot path.
+:meth:`VinaScoringFunction.score_coords_batch` scores a whole batch of poses
+at once (one distance tensor, transcendentals restricted to within-cutoff
+pairs via flat masked indexing), and the single-pose :meth:`score_coords` is a
+batch of one, so both paths are the same code and produce bit-identical
+scores.  The electrostatic exponential is skipped entirely when its weight is
+0.0 (the default): with a zero weight the term contributes an exact ±0.0 to
+every pair, and adding a signed zero to the partial sum never changes it,
+because the preceding Gaussian terms are strictly non-zero.
 """
 
 from __future__ import annotations
@@ -117,6 +125,29 @@ class VinaScoringFunction:
         )
         self._charge_product = np.outer(ligand.charges, self.receptor.charges)
         self._radius_sum = self._ligand_radii[:, None] + self.receptor.radii[None, :]
+        # Flattened views for the batched hot path: the masked-pair gathers
+        # index one flat (ligand*receptor) axis instead of two fancy axes.
+        self._hydrophobic_pair_flat = self._hydrophobic_pair.astype(float).ravel()
+        self._charge_product_flat = self._charge_product.ravel()
+        self._receptor_sq = np.einsum("ij,ij->i", self.receptor.coords, self.receptor.coords)
+        self._receptor_neg2t = np.ascontiguousarray((-2.0 * self.receptor.coords).T)
+        # Pair arrays tiled across poses, grown lazily to the largest batch
+        # seen: masked flat indices then gather pair properties directly,
+        # with no per-call modulo to recover the within-pose pair index.
+        self._hydrophobic_tile: np.ndarray | None = None
+        self._charge_tile: np.ndarray | None = None
+        # H-bond-capable pairs are sparse, and the term is zero beyond contact
+        # range anyway, so the saturating max is taken over just these pairs
+        # (grouped by ligand atom for a reduceat segment max).
+        hb_lig, hb_rec = np.nonzero(self._hbond_pair)
+        order = np.argsort(hb_lig, kind="stable")
+        self._hb_lig = hb_lig[order]
+        self._hb_rec = hb_rec[order]
+        if self._hb_lig.size:
+            self._hb_atoms, self._hb_starts = np.unique(self._hb_lig, return_index=True)
+        else:
+            self._hb_atoms = np.zeros(0, dtype=int)
+            self._hb_starts = np.zeros(0, dtype=int)
 
     def score_coords(self, ligand_coords: np.ndarray) -> float:
         """Score a ligand pose given its transformed atom coordinates (kcal/mol)."""
@@ -126,36 +157,102 @@ class VinaScoringFunction:
                 f"pose coordinates shape {ligand_coords.shape} does not match the ligand "
                 f"({self.ligand.coords.shape})"
             )
-        diff = ligand_coords[:, None, :] - self.receptor.coords[None, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        surf = dist - self._radius_sum
-        within = surf < CUTOFF
+        return float(self.score_coords_batch(ligand_coords[None, :, :])[0])
+
+    def _surface_distances(self, pose_coords: np.ndarray) -> np.ndarray:
+        """Surface-distance tensor ``(P, A, R)`` for a batch of poses.
+
+        Squared centre distances come from the expanded-square identity
+        ``|l - r|^2 = |l|^2 + |r|^2 - 2 l·r`` so the cross term is a single
+        matrix product instead of a broadcast ``(P, A, R, 3)`` difference
+        tensor.  Each element depends only on its own pose's coordinates, so
+        the result — like every score derived from it — is independent of the
+        batch composition.
+        """
+        num_poses = pose_coords.shape[0]
+        flat = pose_coords.reshape(-1, 3)
+        dist_sq = flat @ self._receptor_neg2t
+        dist_sq += np.einsum("ij,ij->i", flat, flat)[:, None]
+        dist_sq += self._receptor_sq
+        # Coincident centres can round to a tiny negative square.
+        np.maximum(dist_sq, 0.0, out=dist_sq)
+        surf = np.sqrt(dist_sq, out=dist_sq).reshape(num_poses, *self._radius_sum.shape)
+        surf -= self._radius_sum
+        return surf
+
+    def score_coords_batch(self, pose_coords: np.ndarray) -> np.ndarray:
+        """Score ``P`` ligand poses at once: ``(P, A, 3) -> (P,)`` kcal/mol.
+
+        One distance tensor covers the whole batch; the Gaussian, repulsion
+        and hydrophobic terms are evaluated only on within-cutoff pairs
+        through flat masked indexing and scattered back into a dense
+        contribution tensor, so the per-pose reduction order — and therefore
+        every score bit — matches a full-matrix evaluation of the same pose.
+        """
+        pose_coords = np.asarray(pose_coords, dtype=float)
+        if pose_coords.ndim != 3 or pose_coords.shape[1:] != self.ligand.coords.shape:
+            raise DockingError(
+                f"pose batch shape {pose_coords.shape} does not match (P, "
+                f"{self.ligand.coords.shape[0]}, 3)"
+            )
+        num_poses = pose_coords.shape[0]
+        pairs_per_pose = self._radius_sum.size
+        surf = self._surface_distances(pose_coords)
+        flat_idx = np.flatnonzero((surf < CUTOFF).ravel())
+        sv = surf.ravel()[flat_idx]
+        if self._hydrophobic_tile is None or self._hydrophobic_tile.size < surf.size:
+            self._hydrophobic_tile = np.tile(self._hydrophobic_pair_flat, num_poses)
 
         w = self.weights
-        gauss1 = np.exp(-((surf / 0.5) ** 2))
-        gauss2 = np.exp(-(((surf - 3.0) / 2.0) ** 2))
-        repulsion = np.where(surf < 0.0, surf**2, 0.0)
-        hydrophobic = np.clip(1.5 - surf, 0.0, 1.0) * self._hydrophobic_pair
+        raw = sv / 0.5
+        np.square(raw, out=raw)
+        np.negative(raw, out=raw)
+        np.exp(raw, out=raw)
+        raw *= w.gauss1
+        term = (sv - 3.0) / 2.0
+        np.square(term, out=term)
+        np.negative(term, out=term)
+        np.exp(term, out=term)
+        term *= w.gauss2
+        raw += term
+        term = np.where(sv < 0.0, sv * sv, 0.0)
+        term *= w.repulsion
+        raw += term
+        term = np.clip(1.5 - sv, 0.0, 1.0)
+        term *= self._hydrophobic_tile[flat_idx]
+        term *= w.hydrophobic
+        raw += term
+        if w.electrostatic != 0.0:
+            # Screened electrostatics: short-ranged Gaussian envelope on the
+            # charge-product, so only contact-distance pairs contribute.
+            if self._charge_tile is None or self._charge_tile.size < surf.size:
+                self._charge_tile = np.tile(self._charge_product_flat, num_poses)
+            term = sv / 1.5
+            np.square(term, out=term)
+            np.negative(term, out=term)
+            np.exp(term, out=term)
+            term *= self._charge_tile[flat_idx]
+            term *= w.electrostatic
+            raw += term
+        contrib = np.zeros(num_poses * pairs_per_pose)
+        contrib[flat_idx] = raw
+        pair_sum = contrib.reshape(num_poses, -1).sum(axis=1)
+
         # Hydrogen bonds are saturating: each ligand donor/acceptor can form at
         # most one H-bond, so only its best-placed receptor partner counts.
         # This is what makes the score geometry-specific rather than a generic
-        # reward for burying polar atoms.
-        hbond_pairwise = np.clip(-surf / 0.7, 0.0, 1.0) * self._hbond_pair * within
-        hbond_per_ligand_atom = hbond_pairwise.max(axis=1) if hbond_pairwise.size else np.zeros(0)
-        # Screened electrostatics: short-ranged Gaussian envelope on the
-        # charge-product, so only contact-distance pairs contribute.
-        electrostatic = self._charge_product * np.exp(-((surf / 1.5) ** 2))
+        # reward for burying polar atoms.  The clipped ramp is exactly zero
+        # beyond contact range, so evaluating it on every H-bond-capable pair
+        # (cutoff or not) leaves each per-atom maximum unchanged.
+        hbond_sum = np.zeros(num_poses)
+        if self._hb_lig.size:
+            vals = np.clip(surf[:, self._hb_lig, self._hb_rec] / -0.7, 0.0, 1.0)
+            per_atom = np.zeros((num_poses, self._radius_sum.shape[0]))
+            per_atom[:, self._hb_atoms] = np.maximum.reduceat(vals, self._hb_starts, axis=1)
+            hbond_sum = per_atom.sum(axis=1)
 
-        raw = (
-            w.gauss1 * gauss1
-            + w.gauss2 * gauss2
-            + w.repulsion * repulsion
-            + w.hydrophobic * hydrophobic
-            + w.electrostatic * electrostatic
-        )
-        total = float(np.sum(raw * within)) + w.hbond * float(np.sum(hbond_per_ligand_atom))
-        total *= w.scale
-        return total / (1.0 + w.rotor_penalty * self.ligand.num_rotatable_bonds)
+        totals = (pair_sum + w.hbond * hbond_sum) * w.scale
+        return totals / (1.0 + w.rotor_penalty * self.ligand.num_rotatable_bonds)
 
     def score_pose(self, rotation: np.ndarray, translation: np.ndarray) -> float:
         """Score the ligand after applying a rigid transform."""

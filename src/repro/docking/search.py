@@ -7,6 +7,18 @@ random walk in that space from several restarts, keeps the best-scoring
 distinct poses it visits, and polishes each of them with a short greedy local
 refinement.  Every run is fully determined by its seed, which is how the
 paper's per-seed docking reproducibility is achieved.
+
+Multi-walker batching
+---------------------
+The restarts are independent walkers, so they advance in *lock-step*: every
+Metropolis step scores all walkers' proposals in one
+:meth:`~repro.docking.scoring.VinaScoringFunction.score_coords_batch` call.
+Each walker owns its own RNG substream — walker 0 uses the caller's generator
+directly and walkers 1..W-1 are spawned children — so the draw sequence per
+walker does not depend on whether the walkers run batched (lock-step) or
+scalar (one walker at a time): ``batch=True`` and ``batch=False`` return
+bit-identical poses, and a single-walker search consumes the caller's
+generator exactly as the historical sequential implementation did.
 """
 
 from __future__ import annotations
@@ -32,6 +44,28 @@ class Pose:
     def coordinates(self, ligand: Ligand) -> np.ndarray:
         """Ligand atom coordinates in this pose."""
         return ligand.transformed(self.rotation, self.translation)
+
+
+def walker_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Independent per-walker RNG substreams.
+
+    Walker 0 is handed the caller's generator itself; the remaining walkers
+    get spawned children.  Spawning derives fresh child seed sequences without
+    consuming any draws from the parent stream, so walker 0's sequence — and
+    with it the single-walker search output — is unchanged by how many other
+    walkers exist.
+    """
+    if count <= 1:
+        return [rng]
+    try:
+        children = rng.spawn(count - 1)
+    except AttributeError:  # older numpy: spawn via the seed sequence directly
+        bit_generator = type(rng.bit_generator)
+        children = [
+            np.random.Generator(bit_generator(seed))
+            for seed in rng.bit_generator.seed_seq.spawn(count - 1)
+        ]
+    return [rng, *children]
 
 
 class MonteCarloPoseSearch:
@@ -63,29 +97,94 @@ class MonteCarloPoseSearch:
             for axis in (np.array([1.0, 0, 0]), np.array([0, 1.0, 0]), np.array([0, 0, 1.0])):
                 initial_rotations.append(rotation_matrix(axis, np.pi))
         self.initial_rotations = [np.asarray(r, dtype=float) for r in initial_rotations]
-        self._restart_index = 0
 
     # -- proposals ---------------------------------------------------------------
 
-    def _random_pose(self, rng: np.random.Generator) -> Pose:
-        if self._restart_index < len(self.initial_rotations):
-            rotation = self.initial_rotations[self._restart_index]
+    def _initial_state(
+        self, walker: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Starting (rotation, translation) of one walker (scoring separate)."""
+        if walker < len(self.initial_rotations):
+            rotation = self.initial_rotations[walker]
             offset = rng.normal(scale=0.5, size=3)
         else:
             rotation = random_rotation(rng)
             offset = rng.normal(scale=self.site_radius / 2.0, size=3)
-        self._restart_index += 1
-        translation = self.site_center + offset
-        score = self.scorer.score_pose(rotation, translation)
-        return Pose(rotation=rotation, translation=translation, score=score)
+        return rotation, self.site_center + offset
 
-    def _perturb(self, pose: Pose, rng: np.random.Generator, scale: float = 1.0) -> Pose:
+    def _proposal_state(
+        self, pose: Pose, rng: np.random.Generator, scale: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Perturbed (rotation, translation) of one pose (scoring separate)."""
         axis = rng.normal(size=3)
         angle = rng.normal(scale=self.rotation_step * scale)
         rotation = rotation_matrix(axis, angle) @ pose.rotation
         translation = pose.translation + rng.normal(scale=self.translation_step * scale, size=3)
+        return rotation, translation
+
+    def _perturb(self, pose: Pose, rng: np.random.Generator, scale: float = 1.0) -> Pose:
+        rotation, translation = self._proposal_state(pose, rng, scale)
         score = self.scorer.score_pose(rotation, translation)
         return Pose(rotation=rotation, translation=translation, score=score)
+
+    def _score_states(self, states: list[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+        """Score many (rotation, translation) states in one batched call."""
+        ligand = self.scorer.ligand
+        coords = np.stack([ligand.transformed(r, t) for r, t in states])
+        return self.scorer.score_coords_batch(coords)
+
+    def _accept(self, delta: float, rng: np.random.Generator) -> bool:
+        """Metropolis acceptance; draws a uniform only for uphill moves."""
+        return delta <= 0 or rng.random() < np.exp(-delta / self.temperature)
+
+    # -- walkers -----------------------------------------------------------------
+
+    def _walk_scalar(
+        self, walkers: int, steps: int, rngs: list[np.random.Generator]
+    ) -> list[Pose]:
+        """Advance the walkers one at a time (reference path)."""
+        candidates: list[Pose] = []
+        for walker in range(walkers):
+            rng = rngs[walker]
+            rotation, translation = self._initial_state(walker, rng)
+            current = Pose(rotation, translation, self.scorer.score_pose(rotation, translation))
+            candidates.append(current)
+            for _ in range(steps):
+                proposal = self._perturb(current, rng)
+                if self._accept(proposal.score - current.score, rng):
+                    current = proposal
+                    candidates.append(current)
+        return candidates
+
+    def _walk_batch(
+        self, walkers: int, steps: int, rngs: list[np.random.Generator]
+    ) -> list[Pose]:
+        """Advance all walkers in lock-step, scoring each step as one batch.
+
+        Candidates are collected per walker and concatenated walker-major, so
+        the candidate order — and with it every downstream stable sort —
+        matches the scalar path exactly.
+        """
+        states = [self._initial_state(walker, rngs[walker]) for walker in range(walkers)]
+        scores = self._score_states(states)
+        current = [
+            Pose(rotation, translation, float(score))
+            for (rotation, translation), score in zip(states, scores)
+        ]
+        per_walker: list[list[Pose]] = [[pose] for pose in current]
+        for _ in range(steps):
+            proposals = [
+                self._proposal_state(current[walker], rngs[walker])
+                for walker in range(walkers)
+            ]
+            scores = self._score_states(proposals)
+            for walker in range(walkers):
+                rotation, translation = proposals[walker]
+                proposal = Pose(rotation, translation, float(scores[walker]))
+                if self._accept(proposal.score - current[walker].score, rngs[walker]):
+                    current[walker] = proposal
+                    per_walker[walker].append(proposal)
+        return [pose for walker_poses in per_walker for pose in walker_poses]
 
     # -- search ------------------------------------------------------------------
 
@@ -96,31 +195,31 @@ class MonteCarloPoseSearch:
         num_poses: int = 10,
         restarts: int = 3,
         refine_steps: int = 25,
+        batch: bool = True,
     ) -> list[Pose]:
         """Run the search and return the best ``num_poses`` distinct poses.
 
         Poses are deduplicated on their translation (two poses closer than
         1.0 Å are considered the same binding mode and only the better one is
-        kept), mirroring how Vina clusters its output modes.
+        kept), mirroring how Vina clusters its output modes.  ``batch``
+        selects lock-step batched walker advancement; it changes wall time
+        only, never the returned poses.
         """
         if steps <= 0:
             raise DockingError(f"steps must be positive, got {steps}")
-        candidates: list[Pose] = []
-        self._restart_index = 0
         restarts = max(restarts, len(self.initial_rotations) + 1)
-        steps_per_restart = max(1, steps // max(1, restarts))
+        walkers = max(1, restarts)
+        steps_per_restart = max(1, steps // walkers)
+        rngs = walker_rngs(rng, walkers)
 
-        for _ in range(max(1, restarts)):
-            current = self._random_pose(rng)
-            candidates.append(current)
-            for _ in range(steps_per_restart):
-                proposal = self._perturb(current, rng)
-                delta = proposal.score - current.score
-                if delta <= 0 or rng.random() < np.exp(-delta / self.temperature):
-                    current = proposal
-                    candidates.append(current)
+        if batch and walkers > 1:
+            candidates = self._walk_batch(walkers, steps_per_restart, rngs)
+        else:
+            candidates = self._walk_scalar(walkers, steps_per_restart, rngs)
 
-        # Keep the best candidates, deduplicated by binding mode.
+        # Keep the best candidates, deduplicated by binding mode.  Selection
+        # and refinement consume the caller's generator (walker 0's stream)
+        # sequentially in both modes.
         candidates.sort(key=lambda p: p.score)
         selected: list[Pose] = []
         for pose in candidates:

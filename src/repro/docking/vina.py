@@ -206,8 +206,26 @@ def dock_structure(
         num_poses=config.docking_poses,
         mc_steps=config.docking_mc_steps,
         master_seed=config.seed,
+        batch=config.docking_batch,
     )
     return engine.dock(receptor, ligand, receptor_id=receptor_id)
+
+
+@dataclass
+class PreparedDock:
+    """The seed-invariant part of a docking task, built once per receptor/ligand.
+
+    Scorer construction (receptor typing plus all precomputed pair-type
+    matrices), pocket detection and the per-site search objects depend only on
+    the receptor/ligand pair, never on the run seed — so a multi-seed dock
+    prepares them exactly once and replays the same prepared task for every
+    seed.
+    """
+
+    ligand: Ligand
+    scorer: VinaScoringFunction
+    searches: list[MonteCarloPoseSearch]
+    steps_per_site: int
 
 
 class DockingEngine:
@@ -221,6 +239,7 @@ class DockingEngine:
         weights: ScoringWeights | None = None,
         master_seed: int = 101,
         site_radius: float = 6.0,
+        batch: bool = True,
     ):
         if num_seeds <= 0 or num_poses <= 0:
             raise DockingError("num_seeds and num_poses must be positive")
@@ -230,10 +249,10 @@ class DockingEngine:
         self.weights = weights or ScoringWeights()
         self.master_seed = int(master_seed)
         self.site_radius = float(site_radius)
+        self.batch = bool(batch)
 
-    def dock(self, receptor: Structure, ligand: Ligand, receptor_id: str | None = None) -> DockingResult:
-        """Dock ``ligand`` against ``receptor`` over all seeds."""
-        receptor_id = receptor_id or receptor.structure_id
+    def prepare(self, receptor: Structure, ligand: Ligand) -> PreparedDock:
+        """Build the seed-invariant task state: scorer, pockets, searches."""
         centered = ligand.centered()
         scorer = VinaScoringFunction(receptor, centered, weights=self.weights)
         # Search every detected binding site (blind docking over the fragment
@@ -244,16 +263,36 @@ class DockingEngine:
             for p in pockets
         ]
         steps_per_site = max(10, self.mc_steps // len(searches))
+        return PreparedDock(
+            ligand=centered, scorer=scorer, searches=searches, steps_per_site=steps_per_site
+        )
 
-        result = DockingResult(receptor_id=receptor_id, ligand_name=ligand.name)
+    def dock(self, receptor: Structure, ligand: Ligand, receptor_id: str | None = None) -> DockingResult:
+        """Dock ``ligand`` against ``receptor`` over all seeds."""
+        receptor_id = receptor_id or receptor.structure_id
+        prepared = self.prepare(receptor, ligand)
+        return self.dock_prepared(prepared, receptor_id, ligand_name=ligand.name)
+
+    def dock_prepared(
+        self, prepared: PreparedDock, receptor_id: str, ligand_name: str | None = None
+    ) -> DockingResult:
+        """Run every seed against an already-prepared docking task."""
+        result = DockingResult(
+            receptor_id=receptor_id,
+            ligand_name=ligand_name if ligand_name is not None else prepared.ligand.name,
+        )
         for i in range(self.num_seeds):
             seed = child_seed(self.master_seed, "docking", receptor_id, i)
             rng = rng_for(seed, "run")
             poses: list[Pose] = []
-            for search in searches:
-                poses.extend(search.search(steps_per_site, rng, num_poses=self.num_poses))
+            for search in prepared.searches:
+                poses.extend(
+                    search.search(
+                        prepared.steps_per_site, rng, num_poses=self.num_poses, batch=self.batch
+                    )
+                )
             poses.sort(key=lambda p: p.score)
-            run = self._build_run(seed, poses[: self.num_poses], centered)
+            run = self._build_run(seed, poses[: self.num_poses], prepared.ligand)
             result.runs.append(run)
         return result
 

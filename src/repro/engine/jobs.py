@@ -38,7 +38,10 @@ from repro.lattice.hamiltonian import HamiltonianWeights
 #: invalidates previously cached results of that kind.
 FOLD_SCHEMA_VERSION = "fold/v1"
 BASELINE_SCHEMA_VERSION = "baseline_fold/v1"
-DOCK_SCHEMA_VERSION = "dock/v1"
+#: dock/v2: multi-walker Monte-Carlo search gives every restart its own RNG
+#: substream (previously all restarts shared one sequential stream), so
+#: docking outputs differ from dock/v1 at equal knobs.
+DOCK_SCHEMA_VERSION = "dock/v2"
 
 #: Backwards-compatible alias (PR 1 exposed the fold schema under this name).
 ENGINE_SCHEMA_VERSION = FOLD_SCHEMA_VERSION

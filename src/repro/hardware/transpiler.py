@@ -15,12 +15,13 @@ circuit and the resource numbers the paper reports per fragment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.exceptions import TranspilerError
 from repro.hardware.basis import count_native_gates, native_depth_contribution, translate_to_native
 from repro.hardware.routing import LinearChainRouter, RoutingResult
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.compiled import circuit_structure_key
 
 #: Depth layers charged for state initialisation and readout of every job.
 MEASUREMENT_LAYERS = 5
@@ -60,11 +61,29 @@ class TranspiledCircuit:
 class Transpiler:
     """Maps logical ansatz circuits onto the Eagle device."""
 
-    def __init__(self, router: LinearChainRouter | None = None, ancilla_margin: int = 5):
+    def __init__(
+        self,
+        router: LinearChainRouter | None = None,
+        ancilla_margin: int = 5,
+        cache_size: int = 128,
+    ):
         if ancilla_margin < 0:
             raise TranspilerError(f"ancilla margin must be >= 0, got {ancilla_margin}")
         self.router = router if router is not None else LinearChainRouter()
         self.ancilla_margin = int(ancilla_margin)
+        self.cache_size = int(cache_size)
+        self._cache: dict[tuple, TranspiledCircuit] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters of the transpilation cache (diagnostics)."""
+        return {
+            "entries": len(self._cache),
+            "hits": self._hits,
+            "misses": self._misses,
+            "max_entries": self.cache_size,
+        }
 
     def scheduled_depth(self, circuit: QuantumCircuit, swap_count: int = 0) -> int:
         """Scheduled device depth of a logical circuit (analytic model).
@@ -90,8 +109,28 @@ class Transpiler:
         margin: int | None = None,
         defective_qubits: tuple[int, ...] | list[int] = (),
     ) -> TranspiledCircuit:
-        """Transpile a (possibly parameterised) logical circuit for the device."""
+        """Transpile a (possibly parameterised) logical circuit for the device.
+
+        Results are cached per (circuit structure, margin, defective qubits)
+        — the structural key covers bound parameter values, so two bindings of
+        the same template only share an entry when they bind identical values.
+        Resource accounting over repeated identical fragments therefore routes
+        and translates once; a hit is returned with ``logical_circuit``
+        swapped for the caller's own circuit object.
+        """
         margin = self.ancilla_margin if margin is None else int(margin)
+        key = None
+        if self.cache_size > 0:
+            key = (
+                circuit_structure_key(circuit),
+                margin,
+                tuple(int(q) for q in defective_qubits),
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                return replace(cached, logical_circuit=circuit)
+            self._misses += 1
         routing = self.router.route(circuit.num_qubits, margin=margin, defective_qubits=defective_qubits)
         reported_depth = self.scheduled_depth(circuit, swap_count=routing.swap_count)
 
@@ -101,10 +140,15 @@ class Transpiler:
         translatable = circuit if circuit.is_bound else circuit.bind([0.0] * circuit.num_parameters)
         native = translate_to_native(translatable)
         counts = count_native_gates(native)
-        return TranspiledCircuit(
+        result = TranspiledCircuit(
             logical_circuit=circuit,
             native_circuit=native,
             routing=routing,
             reported_depth=reported_depth,
             native_gate_counts=counts,
         )
+        if key is not None:
+            self._cache[key] = result
+            while len(self._cache) > self.cache_size:
+                self._cache.pop(next(iter(self._cache)))
+        return result

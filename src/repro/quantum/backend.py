@@ -21,8 +21,9 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, CircuitError
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.compiled import CompiledCircuit, circuit_structure_key
 from repro.quantum.mps import MPSSimulator
 from repro.quantum.statevector import StatevectorSimulator
 
@@ -69,17 +70,68 @@ class Backend(ABC):
         """Execute and return a counts dictionary."""
         return counts_from_samples(self.sample_array(circuit, shots, rng))
 
+    def sample_parameterised(
+        self, circuit: QuantumCircuit, values, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample a parameterised *template* circuit at ``values``.
+
+        This is the hot-loop entry point for optimisers that evaluate one
+        circuit structure at many parameter vectors.  The base implementation
+        simply binds and delegates, so every backend accepts it; backends with
+        a plan-reuse path (see :class:`StatevectorBackend`) override it.  The
+        contract is strict bit-identity with ``sample_array(circuit.bind(values))``.
+        """
+        return self.sample_array(circuit.bind(values), shots, rng)
+
 
 class StatevectorBackend(Backend):
     """Exact dense-statevector execution (small circuits)."""
 
     name = "statevector"
 
-    def __init__(self, max_qubits: int = 24):
+    def __init__(self, max_qubits: int = 24, plan_cache_size: int = 64):
         self._sim = StatevectorSimulator(max_qubits=max_qubits)
+        self.plan_cache_size = int(plan_cache_size)
+        self._plans: dict[tuple, "CompiledCircuit"] = {}
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     def sample_array(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> np.ndarray:
         return self._sim.sample(circuit, shots, rng)
+
+    def sample_parameterised(
+        self, circuit: QuantumCircuit, values, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.plan_cache_size <= 0:
+            return super().sample_parameterised(circuit, values, shots, rng)
+        try:
+            plan = self._plan_for(circuit)
+        except CircuitError:
+            # Structures the plan compiler does not cover fall back to binding.
+            return super().sample_parameterised(circuit, values, shots, rng)
+        return plan.sample(values, shots, rng)
+
+    def _plan_for(self, circuit: QuantumCircuit) -> "CompiledCircuit":
+        key = circuit_structure_key(circuit)
+        plan = self._plans.get(key)
+        if plan is None:
+            self._plan_misses += 1
+            plan = CompiledCircuit(circuit, max_qubits=self._sim.max_qubits)
+            self._plans[key] = plan
+            while len(self._plans) > self.plan_cache_size:
+                self._plans.pop(next(iter(self._plans)))
+        else:
+            self._plan_hits += 1
+        return plan
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters for the compiled-plan cache (diagnostics)."""
+        return {
+            "entries": len(self._plans),
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "max_entries": self.plan_cache_size,
+        }
 
 
 class MPSBackend(Backend):
@@ -100,15 +152,29 @@ class AutoBackend(Backend):
 
     name = "auto"
 
-    def __init__(self, max_statevector_qubits: int = 16, max_bond_dimension: int = 16):
+    def __init__(
+        self,
+        max_statevector_qubits: int = 16,
+        max_bond_dimension: int = 16,
+        plan_cache_size: int = 64,
+    ):
         self.max_statevector_qubits = int(max_statevector_qubits)
-        self._sv = StatevectorBackend(max_qubits=max(max_statevector_qubits, 1))
+        self._sv = StatevectorBackend(
+            max_qubits=max(max_statevector_qubits, 1), plan_cache_size=plan_cache_size
+        )
         self._mps = MPSBackend(max_bond_dimension=max_bond_dimension)
 
     def sample_array(self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator) -> np.ndarray:
         if circuit.num_qubits <= self.max_statevector_qubits:
             return self._sv.sample_array(circuit, shots, rng)
         return self._mps.sample_array(circuit, shots, rng)
+
+    def sample_parameterised(
+        self, circuit: QuantumCircuit, values, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if circuit.num_qubits <= self.max_statevector_qubits:
+            return self._sv.sample_parameterised(circuit, values, shots, rng)
+        return self._mps.sample_parameterised(circuit, values, shots, rng)
 
     def chosen_backend(self, circuit: QuantumCircuit) -> str:
         """Name of the backend that would execute this circuit."""

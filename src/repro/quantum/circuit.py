@@ -138,12 +138,14 @@ class QuantumCircuit:
     @property
     def parameters(self) -> list[Parameter]:
         """Free parameters in first-appearance order."""
-        seen: list[Parameter] = []
+        seen: set[Parameter] = set()
+        ordered: list[Parameter] = []
         for inst in self.instructions:
             for p in inst.params:
                 if isinstance(p, Parameter) and p not in seen:
-                    seen.append(p)
-        return seen
+                    seen.add(p)
+                    ordered.append(p)
+        return ordered
 
     @property
     def num_parameters(self) -> int:

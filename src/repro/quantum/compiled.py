@@ -1,0 +1,181 @@
+"""Compiled execution plans for parameterised circuits.
+
+The VQE hot loop evaluates the *same* ansatz structure hundreds of times with
+different parameter vectors.  The naive path re-pays structure costs on every
+iteration: ``bind`` walks the instruction list to collect parameters and
+builds a full copy of the circuit, and the simulator re-resolves every gate
+matrix and re-derives every ``tensordot`` contraction from scratch.
+
+:class:`CompiledCircuit` walks the circuit **once** and records a replay plan:
+for every instruction it resolves the target qubits into the exact
+transpose/reshape/``dot`` decomposition that :func:`numpy.tensordot` performs
+internally, precomputes the unitary of every parameter-independent gate, and
+notes which parameter slot feeds each parameterised rotation.  Evaluating the
+plan is then just "refresh the parameterised gate matrices and replay":
+no circuit copy, no parameter scan, no per-gate axis bookkeeping.
+
+Bit-identity contract
+---------------------
+A compiled replay performs the *same floating-point operations in the same
+order* as :meth:`StatevectorSimulator.run` on the bound circuit: fixed gate
+matrices are produced by the same :func:`~repro.quantum.gates.gate_matrix`
+calls, parameterised matrices are rebuilt per evaluation through the same
+scalar code path, and each gate application reproduces ``tensordot``'s
+internal ``transpose → reshape → dot → reshape → moveaxis`` sequence with
+identical operand shapes.  Statevectors, probabilities and sampled bitstrings
+are therefore bit-identical to the uncompiled path — the determinism harness
+asserts this, and it is what lets the engine enable plan reuse by default
+without invalidating any cached fold result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BackendError, CircuitError
+from repro.quantum.circuit import Parameter, QuantumCircuit
+from repro.quantum.gates import _PARAMETRIC, gate_matrix
+
+
+def circuit_structure_key(circuit: QuantumCircuit) -> tuple:
+    """Hashable structural fingerprint of a circuit.
+
+    Two circuits share a key exactly when they apply the same gate names to
+    the same qubits in the same order with the same *bound* parameter values,
+    with free parameters identified positionally (by first-appearance order,
+    the same order :meth:`QuantumCircuit.bind` consumes a value vector in).
+    Structurally identical templates — e.g. two ``EfficientSU2`` instances of
+    equal width and depth — therefore share one compiled plan and one
+    transpilation, even though their :class:`Parameter` objects differ.
+
+    The key is memoised on the circuit object (guarded by instruction count,
+    which covers append-after-keying; instructions themselves are frozen), so
+    hot loops that keep sampling one template pay the structural walk once.
+    """
+    memo = getattr(circuit, "_structure_key_memo", None)
+    if memo is not None and memo[0] == len(circuit.instructions):
+        return memo[1]
+    index = {p: i for i, p in enumerate(circuit.parameters)}
+    parts: list = [circuit.num_qubits]
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        parts.append(
+            (
+                inst.name,
+                inst.qubits,
+                tuple(
+                    ("p", index[p]) if isinstance(p, Parameter) else ("c", float(p))
+                    for p in inst.params
+                ),
+            )
+        )
+    key = tuple(parts)
+    try:
+        circuit._structure_key_memo = (len(circuit.instructions), key)
+    except AttributeError:
+        pass
+    return key
+
+
+class CompiledCircuit:
+    """A reusable statevector replay plan for one circuit structure."""
+
+    def __init__(self, circuit: QuantumCircuit, max_qubits: int | None = None):
+        if max_qubits is None:
+            from repro.quantum.statevector import MAX_STATEVECTOR_QUBITS
+
+            max_qubits = MAX_STATEVECTOR_QUBITS
+        n = circuit.num_qubits
+        if n > int(max_qubits):
+            raise BackendError(
+                f"{n} qubits exceeds the statevector limit of {max_qubits}"
+            )
+        params = circuit.parameters
+        index = {p: i for i, p in enumerate(params)}
+        self.num_qubits = n
+        self.num_parameters = len(params)
+        self.structure_key = circuit_structure_key(circuit)
+        # One step per non-barrier instruction:
+        # (fixed_matrix | None, builder | None, param_index | None, 2**k, fwd, back)
+        # where ``builder`` is the gate's matrix constructor (the exact
+        # function :func:`gate_matrix` would dispatch to, resolved once here)
+        # and ``fwd``/``back`` are the transpose permutations reproducing
+        # tensordot's operand layout and moveaxis restoration exactly.
+        self._steps: list[tuple] = []
+        for inst in circuit.instructions:
+            if inst.name == "barrier":
+                continue
+            qubits = inst.qubits
+            k = len(qubits)
+            others = [axis for axis in range(n) if axis not in qubits]
+            fwd = tuple(qubits) + tuple(others)
+            back = [0] * n
+            for position, axis in enumerate(fwd):
+                back[axis] = position
+            if inst.is_parameterised:
+                if len(inst.params) != 1 or not isinstance(inst.params[0], Parameter):
+                    raise CircuitError(
+                        f"cannot compile instruction {inst.name!r}: parameterised "
+                        "gates must carry exactly one free parameter"
+                    )
+                builder = _PARAMETRIC.get(inst.name.lower())
+                if builder is None:
+                    raise CircuitError(
+                        f"cannot compile instruction {inst.name!r}: no parametric "
+                        "matrix builder for this gate"
+                    )
+                self._steps.append(
+                    (None, builder, index[inst.params[0]], 2**k, fwd, tuple(back))
+                )
+            else:
+                matrix = gate_matrix(inst.name, tuple(float(p) for p in inst.params))
+                self._steps.append(
+                    (np.ascontiguousarray(matrix), None, None, 2**k, fwd, tuple(back))
+                )
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def statevector(self, values=()) -> np.ndarray:
+        """Evolve |0...0> through the plan at ``values``; bit-identical to
+        binding the template and running :meth:`StatevectorSimulator.run`."""
+        vals = np.asarray(values, dtype=float).ravel().tolist()
+        if len(vals) != self.num_parameters:
+            raise CircuitError(
+                f"expected {self.num_parameters} parameter values, got {len(vals)}"
+            )
+        n = self.num_qubits
+        shape = (2,) * n
+        state = np.zeros(shape, dtype=complex)
+        state[(0,) * n] = 1.0
+        for matrix, builder, param_index, dim, fwd, back in self._steps:
+            if matrix is None:
+                matrix = builder(vals[param_index])
+            state = (
+                np.dot(matrix, state.transpose(fwd).reshape(dim, -1))
+                .reshape(shape)
+                .transpose(back)
+            )
+        return np.ascontiguousarray(state).reshape(-1)
+
+    def probabilities(self, values=()) -> np.ndarray:
+        """Measurement probabilities at ``values`` (same maths as the simulator)."""
+        amps = self.statevector(values)
+        probs = np.abs(amps) ** 2
+        total = probs.sum()
+        if total <= 0:
+            raise BackendError("statevector collapsed to zero norm")
+        return probs / total
+
+    def sample(self, values, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample measurement outcomes; bit-identical (including the RNG draw
+        pattern) to :meth:`StatevectorSimulator.sample` on the bound circuit."""
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        probs = self.probabilities(values)
+        n = self.num_qubits
+        outcomes = rng.choice(probs.size, size=shots, p=probs)
+        return ((outcomes[:, None] >> np.arange(n - 1, -1, -1)) & 1).astype(np.uint8)

@@ -52,6 +52,17 @@ class StatevectorSimulator:
             state = _apply_gate(state, matrix, inst.qubits)
         return state.reshape(-1)
 
+    def compile(self, circuit: QuantumCircuit):
+        """Build a reusable replay plan for ``circuit`` (may be parameterised).
+
+        The plan's ``statevector``/``sample`` evaluations are bit-identical to
+        binding the circuit and calling :meth:`run`/:meth:`sample`; see
+        :class:`repro.quantum.compiled.CompiledCircuit`.
+        """
+        from repro.quantum.compiled import CompiledCircuit
+
+        return CompiledCircuit(circuit, max_qubits=self.max_qubits)
+
     # -- measurement ----------------------------------------------------------------
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:

@@ -20,23 +20,56 @@ from repro.quantum.backend import samples_to_bitstrings
 class DiagonalExpectation:
     """Estimates ⟨H⟩ from sampled bitstrings for a diagonal folding Hamiltonian."""
 
-    def __init__(self, hamiltonian: LatticeHamiltonian):
+    def __init__(self, hamiltonian: LatticeHamiltonian, max_entries: int | None = None):
+        if max_entries is not None and int(max_entries) <= 0:
+            raise VQEError(f"max_entries must be positive or None, got {max_entries}")
         self.hamiltonian = hamiltonian
         self.encoding = hamiltonian.encoding
+        self.max_entries = int(max_entries) if max_entries is not None else None
         self._cache: dict[str, float] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def cache_size(self) -> int:
-        """Number of distinct configuration bitstrings evaluated so far."""
+        """Number of distinct configuration bitstrings currently cached."""
         return len(self._cache)
 
+    def cache_info(self) -> dict[str, int | None]:
+        """Hit/miss/eviction counters for the energy cache.
+
+        Eviction never changes results — an evicted configuration that
+        reappears is simply re-decoded to the same energy — so the cap only
+        trades CPU for bounded memory on wide (100-qubit) fragments.
+        """
+        return {
+            "entries": len(self._cache),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "max_entries": self.max_entries,
+        }
+
     def energy_of_bits(self, bits: str) -> float:
-        """Energy of one bitstring (configuration register prefix), cached."""
+        """Energy of one bitstring (configuration register prefix), cached.
+
+        The cache is capped at ``max_entries`` (when set) with FIFO eviction:
+        dict insertion order is the arrival order, so the oldest configuration
+        is dropped first.
+        """
         key = bits[: self.encoding.configuration_qubits]
         cached = self._cache.get(key)
         if cached is None:
+            self._misses += 1
             cached = self.hamiltonian.energy_of_bits(key)
             self._cache[key] = cached
+            if self.max_entries is not None:
+                while len(self._cache) > self.max_entries:
+                    self._cache.pop(next(iter(self._cache)))
+                    self._evictions += 1
+        else:
+            self._hits += 1
         return cached
 
     def estimate_from_counts(self, counts: dict[str, int]) -> float:
@@ -74,9 +107,23 @@ class DiagonalExpectation:
                 f"samples have {samples.shape[1]} qubits, but the configuration "
                 f"register needs {width}"
             )
-        uniq, inverse, counts = np.unique(
-            samples[:, :width], axis=0, return_inverse=True, return_counts=True
-        )
+        config = samples[:, :width]
+        if width <= 63:
+            # Pack each configuration row into one MSB-first integer code: a
+            # 1-D unique is far cheaper than np.unique(axis=0)'s row sort, and
+            # numeric order of the codes IS lexicographic order of the rows,
+            # so the grouping (and the energy cache's insertion order) is
+            # unchanged bit for bit.
+            shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+            codes = config.astype(np.int64) @ (np.int64(1) << shifts)
+            uniq_codes, inverse, counts = np.unique(
+                codes, return_inverse=True, return_counts=True
+            )
+            uniq = ((uniq_codes[:, None] >> shifts) & 1).astype(np.uint8)
+        else:
+            uniq, inverse, counts = np.unique(
+                config, axis=0, return_inverse=True, return_counts=True
+            )
         energies = np.array(
             [self.energy_of_bits(bits) for bits in samples_to_bitstrings(uniq)]
         )

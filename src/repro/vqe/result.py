@@ -33,6 +33,10 @@ class VQEResult:
     final_shots: int = 0
     backend_name: str = ""
     ansatz_reps: int = 1
+    #: Hit/miss/eviction counters of the energy cache (diagnostics only).
+    #: Deliberately NOT part of :meth:`metadata` — cached fold payloads must
+    #: not depend on how the expectation cache happened to be exercised.
+    expectation_cache: dict | None = None
 
     @property
     def energy_range(self) -> float:

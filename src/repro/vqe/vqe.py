@@ -65,7 +65,9 @@ class VQE:
         self.optimizer = optimizer
         self.register = register
         self.seed = self.config.seed if seed is None else int(seed)
-        self.expectation = DiagonalExpectation(hamiltonian)
+        self.expectation = DiagonalExpectation(
+            hamiltonian, max_entries=self.config.expectation_cache_entries
+        )
         self.decoder = ConformationDecoder(hamiltonian)
 
         width = (
@@ -96,9 +98,19 @@ class VQE:
     # -- objective ---------------------------------------------------------------
 
     def _objective(self, parameters: np.ndarray, rng: np.random.Generator) -> float:
-        circuit = self.ansatz.bound(parameters)
-        samples = self.backend.sample_array(circuit, self.config.optimisation_shots, rng)
+        samples = self._sample(parameters, self.config.optimisation_shots, rng)
         return self.expectation.cvar_from_samples(samples, alpha=self.config.cvar_alpha)
+
+    def _sample(self, parameters, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample the ansatz at ``parameters`` through the backend's plan-reuse path.
+
+        ``sample_parameterised`` is bit-identical to binding and calling
+        ``sample_array`` — backends without a compiled path fall back to
+        exactly that — so enabling/disabling plan reuse never changes results.
+        """
+        if self.config.quantum_compiled_plans:
+            return self.backend.sample_parameterised(self.ansatz.circuit, parameters, shots, rng)
+        return self.backend.sample_array(self.ansatz.bound(parameters), shots, rng)
 
     def initial_point(self, rng: np.random.Generator) -> np.ndarray:
         """Initial parameters: uniform-superposition RY angles plus small noise.
@@ -130,8 +142,7 @@ class VQE:
 
         # Stage 2: freeze parameters, sample with the production shot count.
         final_shots = self.effective_final_shots()
-        final_circuit = self.ansatz.bound(opt_result.optimal_parameters)
-        final_samples = self.backend.sample_array(final_circuit, final_shots, rng_final)
+        final_samples = self._sample(opt_result.optimal_parameters, final_shots, rng_final)
         final_counts = counts_from_samples(final_samples)
         best = self.decoder.decode_counts(final_counts)
 
@@ -152,4 +163,5 @@ class VQE:
             final_shots=final_shots,
             backend_name=getattr(self.backend, "name", type(self.backend).__name__),
             ansatz_reps=self.config.ansatz_reps,
+            expectation_cache=self.expectation.cache_info(),
         )

@@ -185,9 +185,25 @@ def test_filequeue_worker_kill_then_resume_is_bit_identical_to_serial(
     assert resumed_engine.stats()["failed_jobs"] == 0
 
 
+@pytest.mark.parametrize(
+    "updates",
+    [
+        {"docking_batch": False},
+        {"quantum_compiled_plans": False},
+    ],
+    ids=["scalar-docking", "uncompiled-vqe"],
+)
+def test_fast_path_toggles_are_bit_identical_to_serial(reference_run, updates):
+    """The batched-docking and compiled-ansatz fast paths are pure speed: the
+    same batch with either disabled reproduces the reference bit-for-bit."""
+    engine = Engine(config=CONFIG.with_updates(**updates), processes=0)
+    assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+
+
 def test_session_knobs_never_enter_job_hashes():
-    """session_dir / on_error / transport knobs are orchestration detail:
-    switching transports (or retuning the fleet) must not invalidate caches."""
+    """session_dir / on_error / transport / performance knobs are orchestration
+    detail: switching transports (or retuning the fleet, or toggling the fast
+    paths) must not invalidate caches."""
     engine = Engine(config=CONFIG)
     tweaked = Engine(
         config=CONFIG.with_updates(
@@ -198,6 +214,11 @@ def test_session_knobs_never_enter_job_hashes():
             transport_workers=7,
             transport_lease_timeout=1.5,
             transport_poll_interval=0.5,
+            docking_batch=False,
+            quantum_compiled_plans=False,
+            expectation_cache_entries=32,
+            bench_repeats=9,
+            bench_pose_batch=64,
         )
     )
     for base_job, tweaked_job in zip(_mixed_jobs(engine), _mixed_jobs(tweaked)):

@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.bio.geometry import random_rotation
 from repro.bio.reference import ReferenceStructureGenerator
 from repro.docking.ligand import Ligand, SyntheticLigandGenerator
 from repro.docking.pocket import find_pocket, find_pockets
-from repro.docking.scoring import ScoringWeights, VinaScoringFunction
-from repro.docking.search import MonteCarloPoseSearch
+from repro.docking.scoring import CUTOFF, ScoringWeights, VinaScoringFunction
+from repro.docking.search import MonteCarloPoseSearch, walker_rngs
 from repro.docking.vina import DockingEngine, pose_rmsd_lower, pose_rmsd_upper
 from repro.exceptions import DockingError
 
@@ -122,6 +123,78 @@ def test_scoring_shape_mismatch_raises(reference_record, ligand):
         scorer.score_coords(np.zeros((2, 3)))
 
 
+# -- batched scoring ----------------------------------------------------------------------
+
+
+def _pose_batch(ligand, center, count, seed=0):
+    """Random rigid poses: half clustered at the pocket, half scattered wide."""
+    rng = np.random.default_rng(seed)
+    scales = [2.0 if i % 2 == 0 else 30.0 for i in range(count)]
+    return np.stack(
+        [
+            ligand.transformed(random_rotation(rng), center + rng.normal(scale=scale, size=3))
+            for scale in scales
+        ]
+    )
+
+
+def _full_matrix_scores(scorer, coords):
+    """Reference evaluation: every term on the full (P, A, R) tensor, masked after."""
+    w = scorer.weights
+    surf = scorer._surface_distances(coords)
+    within = surf < CUTOFF
+    pair = np.exp(-((surf / 0.5) ** 2)) * w.gauss1
+    pair += np.exp(-(((surf - 3.0) / 2.0) ** 2)) * w.gauss2
+    pair += np.where(surf < 0.0, surf * surf, 0.0) * w.repulsion
+    pair += np.clip(1.5 - surf, 0.0, 1.0) * scorer._hydrophobic_pair * w.hydrophobic
+    if w.electrostatic != 0.0:
+        pair += np.exp(-((surf / 1.5) ** 2)) * scorer._charge_product * w.electrostatic
+    pair_sum = np.where(within, pair, 0.0).reshape(coords.shape[0], -1).sum(axis=1)
+    hbond = np.clip(surf / -0.7, 0.0, 1.0) * scorer._hbond_pair
+    hbond_sum = np.where(within, hbond, 0.0).max(axis=2).sum(axis=1)
+    totals = (pair_sum + w.hbond * hbond_sum) * w.scale
+    return totals / (1.0 + w.rotor_penalty * scorer.ligand.num_rotatable_bonds)
+
+
+def test_batch_scoring_matches_scalar_exactly(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand.centered())
+    pocket = find_pocket(reference_record.structure)
+    coords = _pose_batch(ligand.centered(), pocket.center, 17)
+    batch = scorer.score_coords_batch(coords)
+    scalar = np.array([scorer.score_coords(pose) for pose in coords])
+    assert np.array_equal(batch, scalar)
+
+
+def test_batch_scoring_invariant_to_batch_composition(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand.centered())
+    pocket = find_pocket(reference_record.structure)
+    coords = _pose_batch(ligand.centered(), pocket.center, 13)
+    whole = scorer.score_coords_batch(coords)
+    # Any slicing of the batch — including after the pair-tile caches have
+    # grown to the largest batch — scores each pose identically.
+    assert np.array_equal(scorer.score_coords_batch(coords[3:8]), whole[3:8])
+    assert np.array_equal(scorer.score_coords_batch(coords[::2]), whole[::2])
+    fresh = VinaScoringFunction(reference_record.structure, ligand.centered())
+    assert np.array_equal(fresh.score_coords_batch(coords[5:6]), whole[5:6])
+
+
+@pytest.mark.parametrize("electrostatic", [0.0, 0.5])
+def test_batch_scoring_matches_full_matrix_reference(reference_record, ligand, electrostatic):
+    weights = ScoringWeights(electrostatic=electrostatic)
+    scorer = VinaScoringFunction(reference_record.structure, ligand.centered(), weights=weights)
+    pocket = find_pocket(reference_record.structure)
+    coords = _pose_batch(ligand.centered(), pocket.center, 9, seed=2)
+    assert np.array_equal(scorer.score_coords_batch(coords), _full_matrix_scores(scorer, coords))
+
+
+def test_batch_scoring_shape_validation(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand)
+    with pytest.raises(DockingError):
+        scorer.score_coords_batch(np.zeros((4, 2, 3)))
+    with pytest.raises(DockingError):
+        scorer.score_coords_batch(np.zeros((ligand.num_atoms, 3)))
+
+
 # -- pose RMSD bounds ---------------------------------------------------------------------
 
 
@@ -178,3 +251,45 @@ def test_docking_engine_deterministic(reference_record, ligand):
 def test_docking_engine_validation():
     with pytest.raises(DockingError):
         DockingEngine(num_seeds=0)
+
+
+# -- batched walkers ----------------------------------------------------------------------
+
+
+def test_walker_rngs_single_walker_is_callers_generator():
+    rng = np.random.default_rng(5)
+    assert walker_rngs(rng, 1) == [rng]
+    many = walker_rngs(rng, 4)
+    assert many[0] is rng and len(many) == 4
+
+
+def test_search_batch_matches_scalar(reference_record, ligand):
+    scorer = VinaScoringFunction(reference_record.structure, ligand.centered())
+    pocket = find_pocket(reference_record.structure)
+    search = MonteCarloPoseSearch(scorer, pocket.center)
+    batched = search.search(80, np.random.default_rng(3), num_poses=5, batch=True)
+    scalar = search.search(80, np.random.default_rng(3), num_poses=5, batch=False)
+    assert len(batched) == len(scalar)
+    for a, b in zip(batched, scalar):
+        assert a.score == b.score
+        assert np.array_equal(a.rotation, b.rotation)
+        assert np.array_equal(a.translation, b.translation)
+
+
+def test_docking_engine_batch_flag_does_not_change_results(reference_record, ligand):
+    on = DockingEngine(num_seeds=2, num_poses=3, mc_steps=40, batch=True)
+    off = DockingEngine(num_seeds=2, num_poses=3, mc_steps=40, batch=False)
+    r_on = on.dock(reference_record.structure, ligand, receptor_id="3eax:REF")
+    r_off = off.dock(reference_record.structure, ligand, receptor_id="3eax:REF")
+    assert r_on.as_dict() == r_off.as_dict()
+
+
+def test_prepared_dock_replays_identically(reference_record, ligand):
+    engine = DockingEngine(num_seeds=3, num_poses=3, mc_steps=40)
+    direct = engine.dock(reference_record.structure, ligand, receptor_id="3eax:REF")
+    prepared = engine.prepare(reference_record.structure, ligand)
+    # One preparation serves every seed: replaying it twice changes nothing.
+    replay1 = engine.dock_prepared(prepared, "3eax:REF")
+    replay2 = engine.dock_prepared(prepared, "3eax:REF")
+    assert replay1.as_dict() == direct.as_dict()
+    assert replay2.as_dict() == direct.as_dict()

@@ -208,3 +208,44 @@ def test_eagle_emulator_noiseless_matches_mps_statistics():
     assert set(clean_counts) == {"0" * 8}
     noisy_counts = noisy.run(ansatz.bound(params), 256, np.random.default_rng(1))
     assert len(noisy_counts) >= 1
+
+
+# -- transpilation cache ------------------------------------------------------------------
+
+
+def test_transpiler_caches_repeated_structures():
+    transpiler = Transpiler()
+    a, b = EfficientSU2(6, reps=1), EfficientSU2(6, reps=1)
+    first = transpiler.transpile(a.circuit)
+    second = transpiler.transpile(b.circuit)
+    info = transpiler.cache_info()
+    assert info["entries"] == 1
+    assert info["misses"] == 1 and info["hits"] == 1
+    # The hit carries the caller's own circuit but identical resource numbers.
+    assert second.logical_circuit is b.circuit
+    assert second.reported_depth == first.reported_depth
+    assert second.native_gate_counts == first.native_gate_counts
+    assert second.routing == first.routing
+
+
+def test_transpiler_cache_keys_cover_margin_defects_and_bindings():
+    transpiler = Transpiler()
+    ansatz = EfficientSU2(5, reps=1)
+    transpiler.transpile(ansatz.circuit)
+    transpiler.transpile(ansatz.circuit, margin=9)
+    chain = transpiler.router.route(5, margin=5).physical_chain
+    transpiler.transpile(ansatz.circuit, defective_qubits=(chain[1],))
+    values = np.full(ansatz.num_parameters, 0.25)
+    transpiler.transpile(ansatz.bound(values))
+    transpiler.transpile(ansatz.bound(values * 2))
+    assert transpiler.cache_info() == {
+        "entries": 5, "hits": 0, "misses": 5, "max_entries": 128,
+    }
+
+
+def test_transpiler_cache_disabled():
+    transpiler = Transpiler(cache_size=0)
+    circuit = EfficientSU2(4, reps=1).circuit
+    transpiler.transpile(circuit)
+    transpiler.transpile(circuit)
+    assert transpiler.cache_info() == {"entries": 0, "hits": 0, "misses": 0, "max_entries": 0}

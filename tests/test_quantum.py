@@ -215,3 +215,106 @@ def test_noise_flips_expected_fraction():
     samples = np.zeros((2000, 10), dtype=np.uint8)
     out = model.apply(samples, np.random.default_rng(1))
     assert out.mean() == pytest.approx(0.25, abs=0.03)
+
+
+# -- compiled plans -----------------------------------------------------------------------
+
+
+def _random_values(num, seed):
+    return np.random.default_rng(seed).normal(scale=0.4, size=num)
+
+
+@pytest.mark.parametrize("width,reps", [(2, 1), (3, 1), (4, 2), (6, 2)])
+def test_compiled_statevector_bit_identical_to_simulator(width, reps):
+    ansatz = EfficientSU2(width, reps=reps)
+    plan = ansatz.compiled()
+    simulator = StatevectorSimulator()
+    for seed in range(3):
+        values = _random_values(ansatz.num_parameters, seed)
+        assert np.array_equal(plan.statevector(values), simulator.run(ansatz.bound(values)))
+
+
+def test_compiled_sample_matches_simulator_rng_stream():
+    ansatz = EfficientSU2(4, reps=2)
+    plan = StatevectorSimulator().compile(ansatz.circuit)
+    values = _random_values(ansatz.num_parameters, 7)
+    direct = StatevectorSimulator().sample(ansatz.bound(values), 64, np.random.default_rng(9))
+    replay = plan.sample(values, 64, np.random.default_rng(9))
+    assert np.array_equal(direct, replay)
+
+
+def test_compiled_handles_fixed_and_parameterised_gates():
+    theta = Parameter("theta")
+    circuit = QuantumCircuit(2)
+    circuit.h(0).ry(theta, 0).cx(0, 1).rz(0.3, 1).x(1)
+    from repro.quantum.compiled import CompiledCircuit
+
+    plan = CompiledCircuit(circuit)
+    assert len(plan) == 5  # barriers excluded, everything else compiled
+    values = [0.8]
+    assert np.array_equal(plan.statevector(values), StatevectorSimulator().run(circuit.bind(values)))
+
+
+def test_compiled_circuit_errors():
+    from repro.quantum.compiled import CompiledCircuit
+
+    wide = EfficientSU2(6, reps=1)
+    with pytest.raises(BackendError):
+        CompiledCircuit(wide.circuit, max_qubits=4)
+    bogus = QuantumCircuit(2)
+    bogus.append("crx", (0, 1), (Parameter("t"),))
+    with pytest.raises(CircuitError):
+        CompiledCircuit(bogus)
+    plan = EfficientSU2(3, reps=1).compiled()
+    with pytest.raises(CircuitError):
+        plan.statevector([0.1])  # wrong parameter count
+    with pytest.raises(BackendError):
+        plan.sample(np.zeros(plan.num_parameters), 0, np.random.default_rng(0))
+
+
+def test_structure_key_shared_across_template_instances():
+    from repro.quantum.compiled import circuit_structure_key
+
+    a = EfficientSU2(4, reps=2).circuit
+    b = EfficientSU2(4, reps=2).circuit
+    assert circuit_structure_key(a) == circuit_structure_key(b)
+    assert circuit_structure_key(a) != circuit_structure_key(EfficientSU2(4, reps=1).circuit)
+    # Bound parameter values are part of the key.
+    values = _random_values(a.num_parameters, 1)
+    assert circuit_structure_key(a.bind(values)) != circuit_structure_key(a.bind(values * 0.5))
+
+
+def test_structure_key_memo_invalidated_by_append():
+    from repro.quantum.compiled import circuit_structure_key
+
+    circuit = QuantumCircuit(2).h(0).cx(0, 1)
+    key = circuit_structure_key(circuit)
+    assert circuit_structure_key(circuit) == key  # memo hit
+    circuit.x(1)
+    grown = circuit_structure_key(circuit)
+    assert grown != key
+    assert len(grown) == len(key) + 1
+
+
+def test_backend_plan_cache_shared_across_instances():
+    backend = StatevectorBackend()
+    shots, rng_seed = 32, 11
+    a, b = EfficientSU2(4, reps=1), EfficientSU2(4, reps=1)
+    values = _random_values(a.num_parameters, 3)
+    first = backend.sample_parameterised(a.circuit, values, shots, np.random.default_rng(rng_seed))
+    second = backend.sample_parameterised(b.circuit, values, shots, np.random.default_rng(rng_seed))
+    assert np.array_equal(first, second)
+    info = backend.plan_cache_info()
+    assert info["entries"] == 1
+    assert info["misses"] == 1 and info["hits"] == 1
+
+
+def test_backend_plan_cache_disabled_is_bit_identical():
+    cached = StatevectorBackend(plan_cache_size=64)
+    uncached = StatevectorBackend(plan_cache_size=0)
+    ansatz = EfficientSU2(5, reps=2)
+    values = _random_values(ansatz.num_parameters, 4)
+    with_plan = cached.sample_parameterised(ansatz.circuit, values, 48, np.random.default_rng(2))
+    without = uncached.sample_parameterised(ansatz.circuit, values, 48, np.random.default_rng(2))
+    assert np.array_equal(with_plan, without)
+    assert uncached.plan_cache_info()["entries"] == 0

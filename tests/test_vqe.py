@@ -134,3 +134,70 @@ def test_effective_final_shots_scales_with_length(tiny_config_module):
     large = VQE(LatticeHamiltonian("DYLEAYGKGGVKAK"), config=tiny_config_module)
     assert large.effective_final_shots() > small.effective_final_shots()
     assert large.effective_final_shots() <= tiny_config_module.max_final_shots
+
+
+# -- expectation cache cap and grouping ---------------------------------------------------
+
+
+def test_expectation_cache_cap_validation():
+    h = LatticeHamiltonian("ACDEF")
+    with pytest.raises(VQEError):
+        DiagonalExpectation(h, max_entries=0)
+    with pytest.raises(VQEError):
+        DiagonalExpectation(h, max_entries=-3)
+
+
+def test_expectation_cache_fifo_eviction_and_counters():
+    h = LatticeHamiltonian("ACDEF")
+    exp = DiagonalExpectation(h, max_entries=2)
+    turns = ([0, 1, 2, 1], [0, 1, 1, 1], [0, 2, 1, 2])
+    keys = [h.encoding.bits_from_turns(t) for t in turns]
+    exp.energy_of_bits(keys[0])
+    exp.energy_of_bits(keys[1])
+    exp.energy_of_bits(keys[1])  # hit
+    exp.energy_of_bits(keys[2])  # evicts keys[0] (oldest)
+    info = exp.cache_info()
+    assert info == {"entries": 2, "hits": 1, "misses": 3, "evictions": 1, "max_entries": 2}
+    exp.energy_of_bits(keys[0])  # re-decodes the evicted configuration
+    assert exp.cache_info()["misses"] == 4
+
+
+def test_expectation_capped_cache_never_changes_estimates():
+    h = LatticeHamiltonian("PWWERYQP")
+    rng = np.random.default_rng(2)
+    samples = rng.integers(0, 2, size=(300, h.encoding.configuration_qubits)).astype(np.uint8)
+    capped = DiagonalExpectation(h, max_entries=4)
+    uncapped = DiagonalExpectation(h)
+    assert capped.estimate_from_samples(samples) == uncapped.estimate_from_samples(samples)
+    assert capped.cvar_from_samples(samples, alpha=0.2) == uncapped.cvar_from_samples(
+        samples, alpha=0.2
+    )
+    assert capped.cache_info()["evictions"] > 0
+
+
+def test_packed_grouping_matches_row_unique():
+    h = LatticeHamiltonian("PWWERYQP")
+    exp = DiagonalExpectation(h)
+    width = h.encoding.configuration_qubits
+    assert width <= 63  # the packed path is in play
+    rng = np.random.default_rng(4)
+    samples = rng.integers(0, 2, size=(128, width + 2)).astype(np.uint8)
+    energies, inverse, counts = exp._unique_config_energies(samples)
+    ref_uniq, ref_inverse, ref_counts = np.unique(
+        samples[:, :width], axis=0, return_inverse=True, return_counts=True
+    )
+    ref_energies = np.array([h.energy_of_bits("".join(map(str, row))) for row in ref_uniq])
+    assert np.array_equal(energies, ref_energies)
+    assert np.array_equal(inverse, np.ravel(ref_inverse))
+    assert np.array_equal(counts, ref_counts)
+    assert np.array_equal(energies[inverse], exp.per_shot_energies(samples))
+
+
+def test_vqe_result_surfaces_cache_info(small_vqe_result):
+    h, vqe, result = small_vqe_result
+    info = result.expectation_cache
+    assert info is not None
+    assert info["entries"] >= 1
+    assert info["hits"] + info["misses"] >= info["entries"]
+    # Diagnostics only: the cache counters never enter the reproducible metadata.
+    assert "expectation_cache" not in result.metadata()
