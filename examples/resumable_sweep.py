@@ -11,7 +11,10 @@ resume, then assert via the emitted stats JSON that zero completed jobs were
 re-executed.  The ``distributed-sweep`` job runs the same sweep on the
 ``filequeue`` transport against externally launched ``repro-worker`` daemons
 (``--transport filequeue --spool-dir ...``), SIGKILLs one daemon mid-job, and
-diffs the ``--results-json`` canonical payloads against a serial run.
+diffs the ``--results-json`` canonical payloads against a serial run.  The
+``network-serve`` job does the same against a ``repro-serve`` daemon
+(``--transport network --serve-port ...``), killing and restarting the
+*server* mid-batch.
 
 Usage::
 
@@ -57,10 +60,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--processes", type=int, default=0, help="engine worker processes")
     parser.add_argument("--seed", type=int, default=2025, help="master seed")
     parser.add_argument(
-        "--transport", default=None, choices=["auto", "serial", "pool", "filequeue"],
+        "--transport", default=None,
+        choices=["auto", "serial", "pool", "filequeue", "network"],
         help="executor transport (default: the engine's auto resolution)",
     )
     parser.add_argument("--spool-dir", default=None, help="filequeue spool directory")
+    parser.add_argument("--serve-host", default=None, help="repro-serve host (network transport)")
+    parser.add_argument("--serve-port", type=int, default=None, help="repro-serve port (network transport)")
     parser.add_argument(
         "--workers", type=int, default=0,
         help="repro-worker daemons the filequeue transport spawns itself "
@@ -90,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
             transport_workers=args.workers,
             transport_lease_timeout=args.lease_timeout,
         )
+    if args.serve_host:
+        config = config.with_updates(serve_host=args.serve_host)
+    if args.serve_port is not None:
+        config = config.with_updates(serve_port=args.serve_port)
     engine = Engine(config=config, processes=args.processes)
     jobs = [
         engine.spec(pdb_id, sequence) for pdb_id, sequence in FRAGMENTS

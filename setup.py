@@ -3,8 +3,9 @@
 Kept as a plain setup.py (no PEP 517 build isolation required) so
 ``pip install -e .`` works offline.  Installs the ``repro`` package from
 ``src/`` and the ``repro-cache`` / ``repro-session`` / ``repro-worker`` /
-``repro-bench`` console tools (:mod:`repro.cli.cache`,
-:mod:`repro.cli.session`, :mod:`repro.cli.worker`, :mod:`repro.cli.bench`).
+``repro-serve`` / ``repro-bench`` console tools (:mod:`repro.cli.cache`,
+:mod:`repro.cli.session`, :mod:`repro.cli.worker`, :mod:`repro.cli.serve`,
+:mod:`repro.cli.bench`).
 """
 from setuptools import find_packages, setup
 
@@ -21,6 +22,7 @@ setup(
             "repro-cache=repro.cli.cache:main",
             "repro-session=repro.cli.session:main",
             "repro-worker=repro.cli.worker:main",
+            "repro-serve=repro.cli.serve:main",
             "repro-bench=repro.cli.bench:main",
         ],
     },

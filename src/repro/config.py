@@ -83,10 +83,11 @@ class PipelineConfig:
     transport:
         Executor transport jobs run on: ``"serial"`` (in-process),
         ``"pool"`` (local process pool), ``"filequeue"`` (a fleet of
-        ``repro-worker`` daemons over a shared spool directory), or
-        ``"auto"`` (the default: serial for ``processes <= 1``, pool
-        otherwise).  Results are bit-identical on every transport; like all
-        transport knobs below, this never enters any job hash.
+        ``repro-worker`` daemons over a shared spool directory),
+        ``"network"`` (a running ``repro-serve`` daemon reached over a
+        socket), or ``"auto"`` (the default: serial for ``processes <= 1``,
+        pool otherwise).  Results are bit-identical on every transport; like
+        all transport knobs below, this never enters any job hash.
     spool_dir:
         Shared spool directory of the ``filequeue`` transport (required when
         it is selected; created if absent).
@@ -99,7 +100,14 @@ class PipelineConfig:
         Seconds before an untouched task claim counts as abandoned by a dead
         worker and is requeued (stale-lease reclamation).
     transport_poll_interval:
-        Seconds between the submitting transport's spool scans.
+        Seconds between the submitting transport's spool scans (also the
+        ``network`` transport's socket-poll slice).
+    serve_host / serve_port:
+        Address of the ``repro-serve`` daemon the ``network`` transport
+        submits to (start one with ``repro-serve``).
+    serve_max_inflight:
+        Per-client in-flight job window of the ``network`` transport (the
+        server clamps it to its own advertised admission cap).
     docking_batch:
         Whether Monte-Carlo pose search advances its restart walkers in
         lock-step, scoring every walker's proposal in one batched
@@ -146,6 +154,9 @@ class PipelineConfig:
     transport_workers: int | None = None
     transport_lease_timeout: float = 30.0
     transport_poll_interval: float = 0.05
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 7377
+    serve_max_inflight: int = 32
     docking_batch: bool = True
     quantum_compiled_plans: bool = True
     expectation_cache_entries: int | None = None

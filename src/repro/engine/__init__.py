@@ -19,10 +19,11 @@ they complete, with progress callbacks, journalled per-job status, isolated
 :class:`~repro.engine.session.JobFailure` records and crash/interrupt resume.
 
 Where jobs *run* is a pluggable executor transport
-(``config.transport = "serial" | "pool" | "filequeue"``): in-process, on a
-local process pool, or across a fleet of independent ``repro-worker`` daemons
-coordinating over a shared spool directory — bit-identical results on every
-transport.
+(``config.transport = "serial" | "pool" | "filequeue" | "network"``):
+in-process, on a local process pool, across a fleet of independent
+``repro-worker`` daemons coordinating over a shared spool directory, or on a
+long-running ``repro-serve`` daemon reached over a socket — bit-identical
+results on every transport.
 
 See :mod:`repro.engine.core` for the execution model, :mod:`repro.engine.jobs`
 for the job kinds and content hashing, :mod:`repro.engine.session` for
@@ -68,6 +69,7 @@ from repro.engine.transports import (
     FileQueueSpool,
     FileQueueTransport,
     FileQueueWorker,
+    NetworkTransport,
     PoolTransport,
     RemoteJobError,
     SerialTransport,
@@ -104,6 +106,7 @@ __all__ = [
     "JobFailure",
     "JobResult",
     "JobSpec",
+    "NetworkTransport",
     "PoolTransport",
     "RemoteJobError",
     "ResultCache",

@@ -8,7 +8,11 @@ registered transport; the transport only decides where the executors run:
 * ``filequeue`` — a fleet of independent ``repro-worker`` daemons
   coordinating over a shared spool directory with atomic-rename leases,
   heartbeats and stale-lease reclamation (see
-  :mod:`repro.engine.transports.filequeue`).
+  :mod:`repro.engine.transports.filequeue`);
+* ``network`` — a running ``repro-serve`` daemon reached over a socket (no
+  shared filesystem), which multiplexes many client sessions onto one
+  shared worker pool and result cache (see
+  :mod:`repro.engine.transports.network` and :mod:`repro.serve`).
 
 Select one with ``PipelineConfig.transport`` (default ``"auto"``: serial for
 ``processes <= 1``, pool otherwise).  Determinism is transport-independent —
@@ -32,6 +36,7 @@ from repro.engine.transports.filequeue import (
     FileQueueWorker,
 )
 from repro.engine.transports.local import PoolTransport, SerialTransport
+from repro.engine.transports.network import NetworkTransport
 
 __all__ = [
     "DEFAULT_LEASE_TIMEOUT",
@@ -39,6 +44,7 @@ __all__ = [
     "FileQueueSpool",
     "FileQueueTransport",
     "FileQueueWorker",
+    "NetworkTransport",
     "PoolTransport",
     "RemoteJobError",
     "SerialTransport",

@@ -99,6 +99,12 @@ _MAX_BAD_RESULT_READS = 50
 #: interval at which it repeats while the stall lasts.
 _STALL_WARN_INTERVAL = 15.0
 
+#: Measured spool clock offsets smaller than this are treated as zero: local
+#: filesystems stamp with the local clock (any measured difference is write
+#: latency / coarse-mtime noise), and an offset this small cannot matter
+#: against lease timeouts of tens of seconds.
+_CLOCK_OFFSET_IGNORE = 1.0
+
 
 class FileQueueSpool:
     """The on-disk queue: every operation is a single atomic rename/replace."""
@@ -111,6 +117,46 @@ class FileQueueSpool:
         self.log_dir = self.root / "log"
         for directory in (self.tasks_dir, self.claims_dir, self.results_dir, self.log_dir):
             directory.mkdir(parents=True, exist_ok=True)
+        #: Seconds the spool filesystem's clock runs *ahead of* this process's
+        #: ``time.time()``.  On a network filesystem, mtimes are stamped by
+        #: the file server; comparing them against an unskewed local clock
+        #: can reclaim a whole fleet of live leases at once (file server
+        #: behind: every fresh claim is born "stale") or never expire a dead
+        #: one (file server ahead).  Measured once at startup via a probe
+        #: touch and folded into every staleness comparison.
+        self.clock_offset = self._measure_clock_offset()
+
+    def _measure_clock_offset(self) -> float:
+        """One probe write: how far the spool's mtime clock is from ours."""
+        probe = self.root / f".clock-probe-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        try:
+            before = time.time()
+            probe.write_bytes(b"")
+            stamped = probe.stat().st_mtime
+            after = time.time()
+        except OSError:
+            return 0.0  # cannot probe: assume synchronised clocks
+        finally:
+            try:
+                probe.unlink()
+            except OSError:
+                pass
+        # The file server stamped the probe somewhere inside [before, after];
+        # the midpoint bounds the offset error by half the write latency.
+        offset = stamped - (before + after) / 2.0
+        if abs(offset) < _CLOCK_OFFSET_IGNORE:
+            return 0.0
+        logger.warning(
+            "spool %s: filesystem clock is %+.1fs from the local clock; "
+            "lease staleness will be judged in spool time",
+            self.root, offset,
+        )
+        return offset
+
+    def lease_age(self, mtime: float, now: float | None = None) -> float:
+        """Seconds since ``mtime`` on the *spool's* clock (skew-corrected)."""
+        now = time.time() if now is None else now
+        return (now + self.clock_offset) - mtime
 
     # -- paths -----------------------------------------------------------------------
 
@@ -233,12 +279,15 @@ class FileQueueSpool:
         the claim is dropped and the result stands.  A stale claim without
         one is a worker that died mid-job — the task goes back to ``tasks/``
         (single-winner rename, so concurrent reclaimers cannot double-queue).
+        Staleness is judged in spool time (:meth:`lease_age`): claim mtimes
+        are stamped by the spool's filesystem, whose clock may be skewed
+        from this process's.
         """
         now = time.time() if now is None else now
         requeued: list[str] = []
         for claim in self.claims_dir.glob("*.claim"):
             try:
-                age = now - claim.stat().st_mtime
+                age = self.lease_age(claim.stat().st_mtime, now=now)
             except OSError:
                 continue  # released under us
             if age <= lease_timeout:
@@ -280,6 +329,27 @@ class FileQueueSpool:
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
         return record if isinstance(record, dict) else None
+
+    def quarantine_result(self, task_id: str) -> Path | None:
+        """Move a permanently unreadable result aside as ``<task_id>.json.bad``.
+
+        Called when the submitting transport gives up on a corrupt result
+        file: leaving it in ``results/`` would make a worker's
+        result-exists check (and ``reclaim_stale``'s result-stands rule)
+        treat the task as resolved while the submitter reported it failed.
+        The claim and ownership sidecar are dropped with it.  Returns the
+        quarantine path, or ``None`` when the rename failed (already
+        quarantined by a racing submitter, or the file vanished).
+        """
+        source = self.result_path(task_id)
+        target = source.with_name(source.name + ".bad")
+        try:
+            os.replace(source, target)
+        except OSError:
+            return None
+        self.claim_path(task_id).unlink(missing_ok=True)
+        self.owner_path(task_id).unlink(missing_ok=True)
+        return target
 
     def remove_task(self, task_id: str) -> None:
         self.task_path(task_id).unlink(missing_ok=True)
@@ -398,8 +468,24 @@ class FileQueueWorker:
                 error_message=f"cannot load task envelope: {exc}",
             )
         if spec is not None:
-            record["spec_hash"] = getattr(spec, "content_hash", lambda: task_id)()
-            record["kind"] = getattr(spec, "kind", "fold")
+            try:
+                record["spec_hash"] = getattr(spec, "content_hash", lambda: task_id)()
+                record["kind"] = getattr(spec, "kind", "fold")
+            except Exception as exc:
+                # A spec that unpickles but cannot be fingerprinted (a
+                # content_hash that raises in this worker's environment — e.g.
+                # an unserialisable config.extra, or version drift in the spec
+                # class) is poison too: before this guard, the exception
+                # escaped the worker *before any heartbeat*, the lease went
+                # stale, the next claimant died the same way, and a spawned
+                # fleet burned its whole respawn_limit on one task.
+                spec = None
+                record.update(
+                    status="failed",
+                    error_type=type(exc).__name__,
+                    error_message=f"cannot fingerprint task spec: {exc}",
+                )
+        if spec is not None:
             with _LeaseHeartbeat(
                 self.spool, task_id, self.heartbeat_interval, owner=self.worker_id
             ):
@@ -614,6 +700,17 @@ class FileQueueTransport(Transport):
                 self._bad_reads[task_id] = self._bad_reads.get(task_id, 0) + 1
                 if self._bad_reads[task_id] >= _MAX_BAD_RESULT_READS:
                     index = self._outstanding.pop(task_id)
+                    # Quarantine the corrupt file (results/<id>.json.bad):
+                    # left in place, a worker's result-exists check and the
+                    # reclaimer's result-stands rule would treat the task as
+                    # resolved forever while we just reported it failed.
+                    quarantined = self.spool.quarantine_result(task_id)
+                    logger.warning(
+                        "filequeue %s: giving up on unreadable result for %s "
+                        "after %d reads; quarantined to %s",
+                        self.batch_id, task_id, _MAX_BAD_RESULT_READS,
+                        quarantined or "<vanished>",
+                    )
                     completions.append((
                         index, None,
                         RemoteJobError("SpoolError", f"unreadable result file for {task_id}"),

@@ -1,0 +1,530 @@
+"""``repro-serve``: the always-on network job service.
+
+The file-queue fleet (PR 4–5) proved the engine's exactly-once story across
+independent processes, but it needs a *shared filesystem* — the one thing a
+service serving many remote clients cannot assume.  :class:`ReproServer` is
+the socket equivalent of the spool directory: a long-running daemon that
+
+* accepts length-prefixed job submissions (:mod:`repro.serve.protocol`) from
+  many concurrent client sessions,
+* multiplexes them onto **one shared worker pool** (a process pool with the
+  same registry-snapshot replication the local pool transport uses, or
+  in-process threads for ``workers=0``) and **one shared**
+  :class:`~repro.engine.cache.ResultCache` — a job any client ever completed
+  is served to every later client without re-execution,
+* applies per-client **admission control**: at most ``max_inflight`` jobs in
+  flight per client id, and a bounded server-wide backlog (``max_pending``)
+  — a submission over either limit is rejected with an explicit ``busy``
+  frame instead of an unbounded queue, and
+* streams one ``result`` frame per job back to its submitting client as it
+  completes, in completion order.
+
+The submitting side is ``PipelineConfig.transport = "network"``
+(:class:`~repro.engine.transports.network.NetworkTransport`); the session /
+journal / resume semantics are untouched because the transport speaks the
+same ``(index, outcome | RemoteJobError)`` completion language as every
+other transport.  Result records reuse the spool's canonical JSON encoding,
+so network results are bit-identical to file-queue (and serial) results.
+
+Threading model: one acceptor thread; per connection one reader thread
+(frames in) and one sender thread (frames out, decoupled by a queue so a
+stalled client can never block another client's completions); the shared
+executor pool completes jobs and hands records back through per-future
+callbacks.  All admission counters live behind one server lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+import uuid
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.engine.cache import ResultCache
+from repro.exceptions import EngineError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.utils.io import _NumpyJSONEncoder
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Default per-client in-flight job cap (the admission-control window a
+#: server advertises in its ``welcome`` frame).
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Default server-wide backlog cap across all clients.
+DEFAULT_MAX_PENDING = 1024
+
+
+def _execute(spec: Any) -> Any:
+    # Late import: registers the built-in job kinds in pool workers too.
+    from repro.engine.core import execute_job
+
+    return execute_job(spec)
+
+
+class _ClientConnection:
+    """One connected client: a reader thread, a sender thread, a job window."""
+
+    def __init__(self, server: "ReproServer", sock: socket.socket, address: Any):
+        self.server = server
+        self.sock = sock
+        self.address = address
+        self.client_id = f"{address[0]}:{address[1]}" if isinstance(address, tuple) else str(address)
+        #: Jobs accepted from this client and not yet finished (server lock).
+        self.inflight = 0
+        #: index -> Future for jobs still in the pool (server lock).
+        self.futures: dict[int, Any] = {}
+        self.closed = threading.Event()
+        self._outbox: queue.Queue = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"serve-read-{self.client_id}", daemon=True
+        )
+        self._sender = threading.Thread(
+            target=self._send_loop, name=f"serve-send-{self.client_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._sender.start()
+        self._reader.start()
+
+    def send(self, message: dict[str, Any]) -> None:
+        """Enqueue one outbound frame (never blocks the caller)."""
+        self._outbox.put(message)
+
+    def _send_loop(self) -> None:
+        while True:
+            message = self._outbox.get()
+            if message is None:
+                return
+            try:
+                send_message(self.sock, message)
+            except (OSError, ProtocolError):
+                self.close()
+                return
+
+    def _read_loop(self) -> None:
+        try:
+            if not self._handshake():
+                return
+            while not self.closed.is_set():
+                message = recv_message(self.sock)
+                kind = message.get("type")
+                if kind == "job":
+                    self.server._accept_job(self, message)
+                elif kind == "bye":
+                    return
+                else:
+                    self.send({"type": "error", "reason": f"unexpected frame {kind!r}"})
+                    return
+        except (ConnectionError, OSError):
+            pass  # client went away; cleanup below
+        except ProtocolError as exc:
+            self.send({"type": "error", "reason": str(exc)})
+        finally:
+            self.close()
+
+    def _handshake(self) -> bool:
+        hello = recv_message(self.sock)
+        if hello.get("type") != "hello":
+            self.send({"type": "error", "reason": "expected a hello frame"})
+            return False
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            self.send({
+                "type": "error",
+                "reason": (
+                    f"protocol version mismatch: client speaks "
+                    f"{hello.get('protocol')!r}, server speaks {PROTOCOL_VERSION}"
+                ),
+            })
+            return False
+        client_id = hello.get("client_id")
+        if client_id:
+            self.client_id = str(client_id)
+        self.send({
+            "type": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "server_id": self.server.server_id,
+            "max_inflight": self.server.max_inflight,
+        })
+        logger.info("serve %s: client %s connected", self.server.server_id, self.client_id)
+        return True
+
+    def close(self) -> None:
+        if self.closed.is_set():
+            return
+        self.closed.set()
+        self.server._forget_client(self)
+        self._outbox.put(None)  # stop the sender (if idle in get())
+        if threading.current_thread() is not self._sender and self._sender.is_alive():
+            # Let already-queued frames (a final error/result) reach the wire
+            # before the socket goes away; a stalled client forfeits them.
+            self._sender.join(timeout=1.0)
+        for how in (lambda: self.sock.shutdown(socket.SHUT_RDWR), self.sock.close):
+            try:
+                how()
+            except OSError:
+                pass
+
+
+class ReproServer:
+    """The always-on job service; see the module docstring for the contract.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` binds an ephemeral port (read the chosen
+        one back from :attr:`port` after :meth:`start` — handy in tests).
+    workers:
+        Size of the shared execution pool.  ``> 0`` builds a process pool
+        with the parent's backend/executor registries replicated into every
+        worker (exactly like the local ``pool`` transport); ``0`` executes
+        in-process on a small thread pool — no isolation or parallel
+        speed-up, but runtime registrations (test doubles, injected
+        executors) stay visible.
+    max_inflight:
+        Per-client admission window, advertised in the ``welcome`` frame.
+    max_pending:
+        Server-wide cap on accepted-but-unfinished jobs across all clients.
+    cache:
+        The shared :class:`ResultCache` (instance, directory path, or
+        ``None`` to serve without one).
+    execute:
+        Injectable job executor (tests); defaults to the engine's
+        :func:`~repro.engine.core.execute_job`.  Must be picklable when
+        ``workers > 0``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        cache: ResultCache | str | Path | None = None,
+        execute: Callable[[Any], Any] | None = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.workers = max(0, int(workers))
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_pending = max(1, int(max_pending))
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self._execute = execute or _execute
+        self.server_id = f"serve-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self._lock = threading.Lock()
+        self._clients: set[_ClientConnection] = set()
+        self._pending_total = 0
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._pool: Any = None
+        self._shutdown = threading.Event()
+        self.clients_served = 0
+        self.jobs_accepted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_rejected = 0
+        self.cache_hits = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> "ReproServer":
+        """Bind, build the shared pool, and start accepting clients."""
+        if self._listener is not None:
+            raise EngineError("repro-serve was already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.host, self.port))
+        except OSError as exc:
+            listener.close()
+            raise EngineError(
+                f"repro-serve cannot bind {self.host}:{self.port}: {exc}"
+            ) from exc
+        listener.listen(128)
+        # A blocked accept() is not reliably woken by close() from another
+        # thread; a short timeout lets the accept loop notice shutdown.
+        listener.settimeout(0.2)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._pool = self._build_pool()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        logger.info(
+            "repro-serve %s: listening on %s:%d (%s, max %d in flight per "
+            "client, %d pending total)",
+            self.server_id, self.host, self.port,
+            f"{self.workers} worker processes" if self.workers else "in-process execution",
+            self.max_inflight, self.max_pending,
+        )
+        return self
+
+    def _build_pool(self) -> Any:
+        if self.workers <= 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            return ThreadPoolExecutor(max_workers=4, thread_name_prefix="serve-exec")
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.engine.core import _picklable
+        from repro.engine.registry import (
+            executor_snapshot,
+            registry_snapshot,
+            restore_registries,
+        )
+
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            # Spawned (not forked) workers: fork would copy the listening
+            # socket and every connected client fd into each worker as it is
+            # lazily created, so a SIGKILLed server would leave orphans
+            # holding the port (EADDRINUSE on restart, and a listen queue
+            # nobody accepts from) and half-open client connections that
+            # never see EOF.
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=restore_registries,
+            initargs=(
+                _picklable(registry_snapshot(), "backend"),
+                _picklable(executor_snapshot(), "executor"),
+            ),
+        )
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (the CLI's main loop)."""
+        if self._listener is None:
+            self.start()
+        self._shutdown.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting, disconnect every client, tear the pool down."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            clients = list(self._clients)
+        for conn in clients:
+            conn.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        logger.info("repro-serve %s: shut down (%s)", self.server_id, self.stats())
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- the accept loop -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                sock, address = self._listener.accept()
+            except (socket.timeout, TimeoutError):
+                continue
+            except OSError:
+                return  # listener closed by shutdown()
+            try:
+                sock.settimeout(None)  # accepted sockets block; frames are small
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _ClientConnection(self, sock, address)
+            with self._lock:
+                self._clients.add(conn)
+                self.clients_served += 1
+            conn.start()
+
+    def _forget_client(self, conn: _ClientConnection) -> None:
+        """Disconnect cleanup: withdraw whatever has not started executing."""
+        with self._lock:
+            self._clients.discard(conn)
+            futures = list(conn.futures.values())
+        for future in futures:
+            # Cancels queued-but-unstarted jobs; running ones finish (their
+            # callbacks find the connection closed and only settle counters).
+            future.cancel()
+
+    # -- job intake and completion ---------------------------------------------------
+
+    def _accept_job(self, conn: _ClientConnection, message: dict[str, Any]) -> None:
+        index = message.get("index")
+        if not isinstance(index, int):
+            raise ProtocolError(f"job frame without an integer index: {index!r}")
+        spec = message.get("spec")
+        with self._lock:
+            if conn.inflight >= self.max_inflight:
+                reason = (
+                    f"client quota exceeded ({conn.inflight} jobs in flight, "
+                    f"max {self.max_inflight} per client)"
+                )
+            elif self._pending_total >= self.max_pending:
+                reason = (
+                    f"queue full ({self._pending_total} jobs pending, "
+                    f"max {self.max_pending} server-wide)"
+                )
+            else:
+                reason = None
+                conn.inflight += 1
+                self._pending_total += 1
+                self.jobs_accepted += 1
+        if reason is not None:
+            with self._lock:
+                self.jobs_rejected += 1
+            conn.send({"type": "busy", "index": index, "reason": f"server busy: {reason}"})
+            return
+        key, kind, poisoned = self._fingerprint(spec)
+        if poisoned is not None:
+            # The crash-loop lesson from the file-queue fleet, applied here
+            # from day one: a spec whose content_hash() raises resolves as a
+            # failed *result*, it never takes the service down.
+            self._finish(conn, index, poisoned)
+            return
+        if self.cache is not None and key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                with self._lock:
+                    self.cache_hits += 1
+                self._finish(conn, index, {
+                    "status": "completed", "payload": payload,
+                    "spec_hash": key, "kind": kind, "cached": True,
+                })
+                return
+        try:
+            future = self._pool.submit(self._execute, spec)
+        except RuntimeError as exc:  # pool already shut down
+            self._finish(conn, index, {
+                "status": "failed", "error_type": "EngineError",
+                "error_message": f"server is shutting down: {exc}",
+                "spec_hash": key, "kind": kind,
+            })
+            return
+        with self._lock:
+            conn.futures[index] = future
+        future.add_done_callback(
+            lambda f, conn=conn, index=index, key=key, kind=kind:
+                self._on_done(conn, index, key, kind, f)
+        )
+
+    @staticmethod
+    def _fingerprint(spec: Any) -> tuple[str | None, str | None, dict[str, Any] | None]:
+        try:
+            key = getattr(spec, "content_hash", lambda: None)()
+            kind = getattr(spec, "kind", "fold")
+        except Exception as exc:
+            return None, None, {
+                "status": "failed",
+                "error_type": type(exc).__name__,
+                "error_message": f"cannot fingerprint job spec: {exc}",
+            }
+        return key, kind, None
+
+    def _on_done(
+        self, conn: _ClientConnection, index: int, key: str | None, kind: str | None,
+        future: Any,
+    ) -> None:
+        with self._lock:
+            conn.futures.pop(index, None)
+        if future.cancelled():
+            self._finish(conn, index, {
+                "status": "failed", "error_type": "CancelledError",
+                "error_message": "job cancelled before execution "
+                                 "(client disconnected or server shutting down)",
+                "spec_hash": key, "kind": kind,
+            })
+            return
+        exc = future.exception()
+        if exc is not None:
+            self._finish(conn, index, {
+                "status": "failed", "error_type": type(exc).__name__,
+                "error_message": str(exc), "spec_hash": key, "kind": kind,
+            })
+            return
+        try:
+            payload = future.result().to_payload()
+        except Exception as payload_exc:
+            self._finish(conn, index, {
+                "status": "failed", "error_type": type(payload_exc).__name__,
+                "error_message": f"cannot serialise the result payload: {payload_exc}",
+                "spec_hash": key, "kind": kind,
+            })
+            return
+        self._finish(conn, index, {
+            "status": "completed", "payload": payload,
+            "spec_hash": key, "kind": kind, "cached": False,
+        }, cache_key=key)
+
+    def _finish(
+        self, conn: _ClientConnection, index: int, record: dict[str, Any],
+        cache_key: str | None = None,
+    ) -> None:
+        """Settle one accepted job: normalise, cache, count, deliver."""
+        record = dict(record)
+        record.setdefault("server_id", self.server_id)
+        try:
+            # The spool's canonical encoding: network results rebuild to the
+            # same bytes as file-queue results (and as the cache's own files).
+            record = json.loads(json.dumps(record, sort_keys=True, cls=_NumpyJSONEncoder))
+        except (TypeError, ValueError) as exc:
+            record = {
+                "status": "failed", "error_type": type(exc).__name__,
+                "error_message": f"result payload is not JSON-serialisable: {exc}",
+                "spec_hash": record.get("spec_hash"), "kind": record.get("kind"),
+                "server_id": self.server_id,
+            }
+            cache_key = None
+        if cache_key is not None and self.cache is not None and record["status"] == "completed":
+            try:
+                self.cache.put(cache_key, record["payload"])
+            except Exception as exc:
+                logger.warning(
+                    "serve %s: cannot cache result %s: %s",
+                    self.server_id, cache_key[:16], exc,
+                )
+        with self._lock:
+            conn.inflight -= 1
+            self._pending_total -= 1
+            if record["status"] == "completed":
+                self.jobs_completed += 1
+            else:
+                self.jobs_failed += 1
+        if not conn.closed.is_set():
+            conn.send({"type": "result", "index": index, "record": record})
+
+    # -- reporting -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Service-level counters (logs, tests, the CLI's exit summary)."""
+        with self._lock:
+            return {
+                "server_id": self.server_id,
+                "clients_served": self.clients_served,
+                "jobs_accepted": self.jobs_accepted,
+                "jobs_completed": self.jobs_completed,
+                "jobs_failed": self.jobs_failed,
+                "jobs_rejected": self.jobs_rejected,
+                "cache_hits": self.cache_hits,
+                "pending": self._pending_total,
+            }

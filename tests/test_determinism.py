@@ -9,7 +9,11 @@ One mixed fold / baseline-fold / dock batch — including an in-batch duplicate
 * interrupted partway and resumed by a brand-new engine over the journal,
 * on the distributed file-queue transport with a 2-daemon worker fleet —
   cold, and with one fleet member SIGKILLed mid-sweep followed by an
-  interrupt and a cross-engine resume.
+  interrupt and a cross-engine resume,
+* over a socket against a live ``repro-serve`` daemon (the ``network``
+  transport) — cold, warm through the server's shared cache, with the
+  client disconnecting mid-batch and resuming, and with the *server* killed
+  mid-batch then restarted before a cross-engine resume.
 
 Every mode must produce results *bit-identical* to the reference, asserted on
 the canonical JSON serialisation of each result payload (the same bytes the
@@ -185,6 +189,111 @@ def test_filequeue_worker_kill_then_resume_is_bit_identical_to_serial(
     assert resumed_engine.stats()["failed_jobs"] == 0
 
 
+def _network_config(port: int, **updates) -> PipelineConfig:
+    """CONFIG on the network transport against a repro-serve at ``port``."""
+    return CONFIG.with_updates(
+        transport="network",
+        serve_host="127.0.0.1",
+        serve_port=port,
+        transport_poll_interval=0.02,
+        **updates,
+    )
+
+
+def test_network_serve_cold_and_warm_runs_are_bit_identical_to_serial(
+    reference_run, tmp_path
+):
+    """The network clause: a repro-serve daemon with a 2-process shared pool
+    reproduces the serial reference bit-for-bit, and a second client session
+    is served entirely from the server's shared cache — same bytes."""
+    from repro.serve import ReproServer
+
+    with ReproServer(workers=2, cache=tmp_path / "serve-cache") as server:
+        engine = Engine(config=_network_config(server.port))
+        assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+        assert engine.stats()["executed_jobs"] == 5  # the duplicate never executes
+
+        warm_engine = Engine(config=_network_config(server.port))
+        assert _canonical(warm_engine.run(_mixed_jobs(warm_engine))) == reference_run
+        assert server.stats()["cache_hits"] == 5  # all served, none re-executed
+
+
+def test_network_client_disconnect_then_resume_is_bit_identical_to_serial(
+    reference_run, tmp_path
+):
+    """A client that walks away mid-batch resumes from its journal against
+    the same server: bit-identical, completed jobs never re-run."""
+    from repro.serve import ReproServer
+
+    with ReproServer(workers=2) as server:
+        config = _network_config(
+            server.port,
+            session_dir=str(tmp_path / "sessions"),
+            cache_dir=str(tmp_path / "cache"),
+        )
+        engine = Engine(config=config)
+        session = engine.submit(_mixed_jobs(engine), session_id="net-drop")
+        stream = iter(session)
+        next(stream)
+        next(stream)
+        session.close()  # the client disconnects with work outstanding
+
+        journal = SessionJournal.open(config.session_dir, "net-drop")
+        completed_before = len(journal.completed)
+        assert 0 < completed_before < 5
+
+        resumed_engine = Engine(config=config)
+        resumed = resumed_engine.submit(session_id="net-drop")
+        assert _canonical(resumed.results()) == reference_run
+        assert resumed.summary()["cached"] == completed_before
+        assert resumed_engine.stats()["executed_jobs"] == 5 - completed_before
+        assert resumed_engine.stats()["failed_jobs"] == 0
+
+
+def test_network_server_kill_then_restart_resume_is_bit_identical_to_serial(
+    reference_run, tmp_path
+):
+    """Kill the *server* mid-batch: the session finishes with journalled
+    failures instead of hanging; restart the server on the same port and a
+    cross-engine resume is bit-identical with zero re-executed completions."""
+    from repro.engine import JobFailure
+    from repro.serve import ReproServer
+
+    server = ReproServer(workers=2).start()
+    config = _network_config(
+        server.port,
+        session_dir=str(tmp_path / "sessions"),
+        cache_dir=str(tmp_path / "cache"),
+    )
+    engine = Engine(config=config)
+    session = engine.submit(_mixed_jobs(engine), session_id="net-srv-kill")
+    stream = iter(session)
+    next(stream)  # at least one completion landed
+    server.shutdown()  # the service dies with the batch in flight
+    outcomes = session.results()  # finishes as failures — never a hang
+
+    failures = [outcome for outcome in outcomes if isinstance(outcome, JobFailure)]
+    assert failures
+    assert all(failure.error_type == "ServerDisconnected" for failure in failures)
+
+    journal = SessionJournal.open(config.session_dir, "net-srv-kill")
+    completed_before = len(journal.completed)
+    assert 0 < completed_before < 5
+
+    restarted = ReproServer(port=server.port, workers=2).start()
+    try:
+        resumed_engine = Engine(config=config)
+        resumed = resumed_engine.submit(session_id="net-srv-kill")
+        assert _canonical(resumed.results()) == reference_run
+        # Journalled completions replayed from the local cache; only the
+        # never-completed jobs executed on the restarted service.
+        assert resumed.summary()["cached"] == completed_before
+        assert resumed_engine.stats()["executed_jobs"] == 5 - completed_before
+        assert resumed_engine.stats()["failed_jobs"] == 0
+    finally:
+        restarted.shutdown()
+
+
 @pytest.mark.parametrize(
     "updates",
     [
@@ -214,6 +323,9 @@ def test_session_knobs_never_enter_job_hashes():
             transport_workers=7,
             transport_lease_timeout=1.5,
             transport_poll_interval=0.5,
+            serve_host="10.1.2.3",
+            serve_port=9999,
+            serve_max_inflight=2,
             docking_batch=False,
             quantum_compiled_plans=False,
             expectation_cache_entries=32,

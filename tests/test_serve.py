@@ -1,0 +1,354 @@
+"""The ``repro-serve`` battery: wire-protocol framing, admission control
+(per-client quota + bounded backlog), the shared result cache, server-side
+poison isolation, and the network transport's error paths — server down at
+submit, server killed mid-batch, busy re-queueing."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import pytest
+
+from repro.cli.serve import build_parser, main as serve_cli_main
+from repro.config import PipelineConfig
+from repro.engine import BaselineFoldSpec, NetworkTransport
+from repro.engine.core import execute_baseline_job
+from repro.exceptions import EngineError
+from repro.serve import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameBuffer,
+    ProtocolError,
+    ReproServer,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+from repro.utils.io import _NumpyJSONEncoder
+
+BASE_CONFIG = PipelineConfig(seed=5)
+
+
+def _baseline_spec(pdb_id: str = "3eax", sequence: str = "RYRDV", method: str = "AF2"):
+    return BaselineFoldSpec(pdb_id=pdb_id, sequence=sequence, method=method, config=BASE_CONFIG)
+
+
+def _canonical(outcome) -> str:
+    return json.dumps(outcome.to_payload(), sort_keys=True, cls=_NumpyJSONEncoder)
+
+
+@dataclass(frozen=True)
+class PingSpec:
+    """A minimal picklable spec for raw-socket admission-control tests."""
+
+    name: str
+
+    kind: ClassVar[str] = "ping"
+
+    def content_hash(self) -> str:
+        return hashlib.sha256(f"ping/v1\x1f{self.name}".encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PoisonSpec:
+    """Pickles fine; fingerprinting it explodes."""
+
+    name: str
+
+    kind: ClassVar[str] = "ping"
+
+    def content_hash(self) -> str:
+        raise RuntimeError(f"hash of {self.name} exploded")
+
+
+class _FakeOutcome:
+    def __init__(self, payload: dict[str, Any]):
+        self._payload = payload
+
+    def to_payload(self) -> dict[str, Any]:
+        return self._payload
+
+
+def _fake_execute(spec: PingSpec) -> _FakeOutcome:
+    return _FakeOutcome({"spec_hash": spec.content_hash(), "schema": "ping/v1", "name": spec.name})
+
+
+def _hello(sock: socket.socket, client_id: str = "raw-test") -> dict[str, Any]:
+    send_message(sock, {"type": "hello", "client_id": client_id, "protocol": PROTOCOL_VERSION})
+    return recv_message(sock)
+
+
+# -- the wire protocol ---------------------------------------------------------------
+
+
+def test_frame_round_trip_through_a_socketpair():
+    left, right = socket.socketpair()
+    try:
+        message = {"type": "job", "index": 3, "spec": PingSpec("a")}
+        send_message(left, message)
+        received = recv_message(right)
+        assert received["type"] == "job" and received["index"] == 3
+        assert received["spec"] == PingSpec("a")
+        left.close()
+        with pytest.raises(ConnectionError, match="closed"):
+            recv_message(right)
+    finally:
+        for sock in (left, right):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def test_frame_buffer_reassembles_split_frames():
+    frame = encode_frame({"type": "result", "index": 0}) + encode_frame({"type": "bye"})
+    buffer = FrameBuffer()
+    messages = []
+    for offset in range(0, len(frame), 3):  # drip-feed 3 bytes at a time
+        buffer.feed(frame[offset : offset + 3])
+        while (message := buffer.next_message()) is not None:
+            messages.append(message)
+    assert [m["type"] for m in messages] == ["result", "bye"]
+    assert buffer.next_message() is None
+
+
+def test_protocol_rejects_oversize_and_malformed_frames():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame({"type": "blob", "data": bytearray(MAX_FRAME_BYTES + 1)})
+    buffer = FrameBuffer()
+    buffer.feed(b"\xff\xff\xff\xff")  # a 4 GiB frame announcement
+    with pytest.raises(ProtocolError, match="cap"):
+        buffer.next_message()
+    buffer = FrameBuffer()
+    buffer.feed(encode_frame({"no-type-key": 1}))
+    with pytest.raises(ProtocolError, match="not a message dict"):
+        buffer.next_message()
+
+
+# -- handshake and admission control -------------------------------------------------
+
+
+def test_server_welcome_advertises_its_admission_window():
+    with ReproServer(workers=0, max_inflight=7, execute=_fake_execute) as server:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            welcome = _hello(sock)
+            assert welcome["type"] == "welcome"
+            assert welcome["protocol"] == PROTOCOL_VERSION
+            assert welcome["max_inflight"] == 7
+            assert welcome["server_id"] == server.server_id
+
+
+def test_server_rejects_a_protocol_version_mismatch():
+    with ReproServer(workers=0, execute=_fake_execute) as server:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            send_message(sock, {"type": "hello", "client_id": "old", "protocol": 99})
+            reply = recv_message(sock)
+            assert reply["type"] == "error"
+            assert "version mismatch" in reply["reason"]
+
+
+def test_server_enforces_the_per_client_quota():
+    gate = threading.Event()
+
+    def blocked(spec):
+        gate.wait(timeout=10.0)
+        return _fake_execute(spec)
+
+    try:
+        with ReproServer(workers=0, max_inflight=1, execute=blocked) as server:
+            with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+                assert _hello(sock)["max_inflight"] == 1
+                send_message(sock, {"type": "job", "index": 0, "spec": PingSpec("a")})
+                send_message(sock, {"type": "job", "index": 1, "spec": PingSpec("b")})
+                busy = recv_message(sock)  # the window is full: instant rejection
+                assert busy["type"] == "busy" and busy["index"] == 1
+                assert "server busy" in busy["reason"] and "quota" in busy["reason"]
+                gate.set()
+                result = recv_message(sock)
+                assert result["type"] == "result" and result["index"] == 0
+                assert result["record"]["status"] == "completed"
+                assert server.stats()["jobs_rejected"] == 1
+    finally:
+        gate.set()
+
+
+def test_server_enforces_the_global_backlog_cap():
+    gate = threading.Event()
+
+    def blocked(spec):
+        gate.wait(timeout=10.0)
+        return _fake_execute(spec)
+
+    try:
+        with ReproServer(workers=0, max_inflight=8, max_pending=1, execute=blocked) as server:
+            with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+                _hello(sock)
+                send_message(sock, {"type": "job", "index": 0, "spec": PingSpec("a")})
+                send_message(sock, {"type": "job", "index": 1, "spec": PingSpec("b")})
+                busy = recv_message(sock)
+                assert busy["type"] == "busy" and busy["index"] == 1
+                assert "queue full" in busy["reason"]
+                gate.set()
+                assert recv_message(sock)["index"] == 0
+    finally:
+        gate.set()
+
+
+def test_server_isolates_a_spec_whose_content_hash_raises():
+    """Same lesson as the file-queue crash-loop fix, applied server-side: a
+    poison spec resolves as a failed result, the service stays up."""
+    with ReproServer(workers=0, execute=_fake_execute) as server:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            _hello(sock)
+            send_message(sock, {"type": "job", "index": 0, "spec": PoisonSpec("p")})
+            result = recv_message(sock)
+            assert result["type"] == "result" and result["index"] == 0
+            assert result["record"]["status"] == "failed"
+            assert result["record"]["error_type"] == "RuntimeError"
+            assert "cannot fingerprint job spec" in result["record"]["error_message"]
+            # The service survived and still executes good jobs.
+            send_message(sock, {"type": "job", "index": 1, "spec": PingSpec("a")})
+            assert recv_message(sock)["record"]["status"] == "completed"
+
+
+def test_server_turns_an_unserialisable_payload_into_a_failure():
+    with ReproServer(workers=0, execute=lambda spec: _FakeOutcome({"oops": object()})) as server:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            _hello(sock)
+            send_message(sock, {"type": "job", "index": 0, "spec": PingSpec("a")})
+            record = recv_message(sock)["record"]
+            assert record["status"] == "failed"
+            assert "not JSON-serialisable" in record["error_message"]
+
+
+# -- the network transport -----------------------------------------------------------
+
+
+def test_transport_raises_immediately_when_no_server_listens():
+    # Bind-then-close: the port existed a moment ago, nobody listens now.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    transport = NetworkTransport("127.0.0.1", port, connect_timeout=2.0)
+    with pytest.raises(EngineError, match="cannot reach repro-serve"):
+        transport.submit([_baseline_spec()])
+    transport.cancel()
+
+
+def test_transport_end_to_end_matches_local_execution():
+    specs = [_baseline_spec(method="AF2"), _baseline_spec(method="AF3")]
+    with ReproServer(workers=0) as server:
+        transport = NetworkTransport("127.0.0.1", server.port, poll_interval=0.01)
+        completions = sorted(transport.stream(specs), key=lambda c: c[0])
+    assert [index for index, _, _ in completions] == [0, 1]
+    for (index, result, exc), spec in zip(completions, specs):
+        assert exc is None
+        assert not result.from_cache  # executed remotely, not a local hit
+        assert _canonical(result) == _canonical(execute_baseline_job(spec))
+
+
+def test_transport_serves_a_second_client_from_the_shared_cache(tmp_path):
+    spec = _baseline_spec()
+    with ReproServer(workers=0, cache=tmp_path / "serve-cache") as server:
+        first = NetworkTransport("127.0.0.1", server.port, poll_interval=0.01)
+        [(_, result1, _)] = list(first.stream([spec]))
+        second = NetworkTransport("127.0.0.1", server.port, poll_interval=0.01)
+        [(_, result2, _)] = list(second.stream([spec]))
+        stats = server.stats()
+    assert stats["jobs_completed"] == 2 and stats["cache_hits"] == 1
+    assert _canonical(result1) == _canonical(result2)
+    # Server-cache hits still count as remote executions to the *session*,
+    # which caches and journals them locally like any other completion.
+    assert not result2.from_cache
+
+
+def test_transport_requeues_after_busy_until_capacity_frees_up():
+    gate = threading.Event()
+
+    def gated(spec):
+        gate.wait(timeout=10.0)
+        return execute_baseline_job(spec)
+
+    specs = [_baseline_spec(method="AF2"), _baseline_spec(method="AF3")]
+    try:
+        # max_pending=1: the second job is busy-rejected until the first
+        # finishes — the client must re-queue it, not fail or hang.
+        with ReproServer(workers=0, max_pending=1, execute=gated) as server:
+            transport = NetworkTransport("127.0.0.1", server.port, poll_interval=0.01)
+            transport.submit(specs)
+            time.sleep(0.1)  # let the busy frame land
+            gate.set()
+            completions = []
+            deadline = time.monotonic() + 20.0
+            while transport.outstanding() and time.monotonic() < deadline:
+                completions.extend(transport.poll(timeout=1.0))
+            transport.cancel()
+            assert server.stats()["jobs_rejected"] >= 1
+    finally:
+        gate.set()
+    assert sorted(index for index, _, _ in completions) == [0, 1]
+    assert all(exc is None for _, _, exc in completions)
+
+
+def test_transport_fails_outstanding_jobs_when_the_server_dies_mid_batch():
+    """A SIGKILLed server surfaces as RemoteJobError completions — the batch
+    *finishes* (journalled as failures, ready for resume), it never hangs."""
+    gate = threading.Event()
+
+    def blocked(spec):
+        gate.wait(timeout=10.0)
+        return _fake_execute(spec)
+
+    server = ReproServer(workers=0, max_inflight=4, execute=blocked).start()
+    try:
+        transport = NetworkTransport("127.0.0.1", server.port, poll_interval=0.01)
+        assert transport.submit([PingSpec("a"), PingSpec("b"), PingSpec("c")]) == 3
+        deadline = time.monotonic() + 5.0
+        while server.stats()["jobs_accepted"] < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        server.shutdown()  # the service dies with the whole batch in flight
+    finally:
+        gate.set()
+    completions = []
+    deadline = time.monotonic() + 10.0
+    while transport.outstanding() and time.monotonic() < deadline:
+        completions.extend(transport.poll(timeout=1.0))
+    transport.cancel()
+    assert len(completions) == 3
+    for _, result, exc in completions:
+        assert result is None
+        assert exc.error_type == "ServerDisconnected"
+        assert "unreachable" in exc.error_message
+
+
+def test_transport_submit_may_only_run_once():
+    with ReproServer(workers=0, execute=_fake_execute) as server:
+        transport = NetworkTransport("127.0.0.1", server.port)
+        assert transport.submit([]) == 0
+        with pytest.raises(EngineError, match="one batch"):
+            transport.submit([])
+        transport.cancel()
+
+
+# -- the repro-serve CLI -------------------------------------------------------------
+
+
+def test_serve_cli_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.host == "127.0.0.1"
+    assert args.port == 7377
+    assert args.workers == 0
+    assert args.cache_dir is None
+
+
+def test_serve_cli_rejects_a_bad_preload(capsys):
+    rc = serve_cli_main(["--preload", "no.such.module"])
+    assert rc == 2
+    assert "cannot preload" in capsys.readouterr().err

@@ -72,6 +72,18 @@ def execute_echo(spec: EchoSpec) -> EchoResult:
 register_executor("echo", execute_echo, overwrite=True)
 
 
+@dataclass(frozen=True)
+class PoisonHashSpec:
+    """Unpickles fine, but fingerprinting it explodes (the crash-loop bug)."""
+
+    name: str
+
+    kind: ClassVar[str] = "echo"
+
+    def content_hash(self) -> str:
+        raise RuntimeError(f"hash of {self.name} exploded")
+
+
 class _FakeOutcome:
     """A minimal result object for injected-execute worker tests."""
 
@@ -103,7 +115,7 @@ def _canonical(outcome) -> str:
 
 
 def test_transport_registry_and_auto_resolution():
-    assert {"serial", "pool", "filequeue"} <= set(transport_names())
+    assert {"serial", "pool", "filequeue", "network"} <= set(transport_names())
     config = PipelineConfig()
     assert isinstance(make_transport("auto", config, processes=0), SerialTransport)
     assert isinstance(make_transport("auto", config, processes=4), PoolTransport)
@@ -113,15 +125,22 @@ def test_transport_registry_and_auto_resolution():
         make_transport("teleport", config)
     with pytest.raises(EngineError, match="spool_dir"):
         make_transport("filequeue", config)  # filequeue is never implicit
+    with pytest.raises(EngineError, match="serve_port"):
+        make_transport("network", config.with_updates(serve_port=0))  # nor is network
 
 
 def test_capability_flags_describe_the_transports():
+    from repro.engine import NetworkTransport
+
     assert SerialTransport.capabilities.ordered
     assert not SerialTransport.capabilities.remote
     assert not PoolTransport.capabilities.ordered
     assert PoolTransport.capabilities.shared_registry
     assert FileQueueTransport.capabilities.remote
     assert not FileQueueTransport.capabilities.shared_registry
+    assert NetworkTransport.capabilities.remote
+    assert not NetworkTransport.capabilities.ordered
+    assert not NetworkTransport.capabilities.shared_registry
 
 
 # -- serial transport ----------------------------------------------------------------
@@ -399,6 +418,29 @@ def test_worker_turns_an_unserialisable_payload_into_a_failure(tmp_path):
     assert spool.task_ids() == [] and spool.claim_ids() == []
 
 
+def test_worker_survives_a_spec_whose_content_hash_raises(tmp_path):
+    """The fleet crash-loop regression: a spec that unpickles but whose
+    ``content_hash()`` raises used to kill the worker before any heartbeat —
+    the lease went stale, the next fleet member died the same way, and one
+    task burned the entire respawn budget.  It must resolve as a failed
+    *result*, exactly like an unpicklable envelope."""
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("1-poison", PoisonHashSpec("p"))
+    spool.enqueue("2-good", EchoSpec("a"))
+    worker = FileQueueWorker(spool, worker_id="w1", lease_timeout=5.0, execute=_fake_execute)
+    assert worker.run_once() == "1-poison"  # no exception escaped
+    record = spool.read_result("1-poison")
+    assert record["status"] == "failed"
+    assert record["error_type"] == "RuntimeError"
+    assert "cannot fingerprint task spec" in record["error_message"]
+    assert "exploded" in record["error_message"]
+    # The same worker keeps serving — no crash, no stale lease left behind.
+    assert worker.run_once() == "2-good"
+    assert spool.read_result("2-good")["status"] == "completed"
+    assert spool.task_ids() == [] and spool.claim_ids() == []
+    assert worker.failed == 1 and worker.executed == 1
+
+
 def test_worker_heartbeat_keeps_a_long_job_leased(tmp_path):
     """Reclamation must never steal a lease whose worker is alive but slow."""
     spool = FileQueueSpool(tmp_path / "spool")
@@ -573,6 +615,71 @@ def test_filequeue_transport_reclaims_a_stale_lease_while_polling(tmp_path):
     assert transport.reclaimed >= 1
     assert transport.spool.task_ids() == [task_id]  # requeued for the fleet
     transport.cancel()
+
+
+def test_filequeue_quarantines_a_permanently_corrupt_result(tmp_path, monkeypatch):
+    """When the transport gives up on an unreadable result file, the file
+    must be moved aside (``.json.bad``) and the claim sidecars dropped —
+    left in place, a worker's result-exists check would treat the task as
+    resolved forever while the submitter just reported it failed."""
+    import repro.engine.transports.filequeue as fq
+
+    monkeypatch.setattr(fq, "_MAX_BAD_RESULT_READS", 3)
+    transport = FileQueueTransport(tmp_path / "spool", workers=0, lease_timeout=5.0,
+                                   poll_interval=0.01)
+    transport.submit([_baseline_spec()])
+    task_id = next(iter(transport._outstanding))
+    spool = transport.spool
+    spool.claim(task_id, owner="w1")  # the (doomed) worker held the lease
+    spool._atomic_write(spool.result_path(task_id), b"this is not json")
+
+    completions: list = []
+    deadline = time.monotonic() + 5.0
+    while not completions and time.monotonic() < deadline:
+        completions = transport.poll(timeout=0.2)
+    (index, result, exc) = completions[0]
+    assert result is None
+    assert exc.error_type == "SpoolError"
+    assert "unreadable result file" in exc.error_message
+    # The corrupt file was quarantined, not left masquerading as a result.
+    assert spool.read_result(task_id) is None
+    assert not spool.result_path(task_id).exists()
+    bad = spool.result_path(task_id).with_suffix(".json.bad")
+    assert bad.read_bytes() == b"this is not json"
+    assert spool.claim_ids() == [] and spool.claim_owner(task_id) is None
+    transport.cancel()
+
+
+def test_spool_clock_offset_protects_live_leases_from_skew(tmp_path, monkeypatch):
+    """The clock-skew mass-reclaim regression: claim mtimes are stamped by
+    the (possibly remote) filesystem while staleness was judged with the
+    worker-local clock — a worker 30 s ahead reclaimed every live lease in
+    the spool at once.  The startup probe folds the measured offset into
+    lease ages, so a fresh claim stays fresh under ±30 s of skew."""
+    real_time = time.time
+    monkeypatch.setattr(time, "time", lambda: real_time() + 30.0)
+    spool = FileQueueSpool(tmp_path / "spool")  # probe runs under skew
+    assert -31.0 < spool.clock_offset < -29.0  # spool clock ≈ local - 30 s
+    spool.enqueue("t1", EchoSpec("a"))
+    spool.claim("t1", owner="w1")  # mtime stamped by the "file server"
+    # Naive staleness (offset forced to zero) would mass-reclaim right now:
+    spool.clock_offset = 0.0
+    assert spool.lease_age(spool.claim_path("t1").stat().st_mtime) > 25.0
+    spool.clock_offset = -30.0
+    # ...but judged in spool time, the lease is seconds old and survives.
+    assert spool.reclaim_stale(lease_timeout=5.0) == []
+    assert spool.claim_ids() == ["t1"]
+    # Genuinely stale leases are still reclaimed under the same skew.
+    stamp = real_time() - 100
+    os.utime(spool.claim_path("t1"), (stamp, stamp))
+    assert spool.reclaim_stale(lease_timeout=5.0) == ["t1"]
+
+
+def test_spool_clock_offset_is_zero_on_a_local_filesystem(tmp_path):
+    """Sub-second probe differences are write latency, not skew."""
+    spool = FileQueueSpool(tmp_path / "spool")
+    assert spool.clock_offset == 0.0
+    assert not list(spool.root.glob(".clock-probe-*"))  # probe cleaned up
 
 
 def test_filequeue_failure_keeps_original_error_type_through_the_engine(tmp_path):
