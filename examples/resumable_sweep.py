@@ -11,10 +11,13 @@ resume, then assert via the emitted stats JSON that zero completed jobs were
 re-executed.  The ``distributed-sweep`` job runs the same sweep on the
 ``filequeue`` transport against externally launched ``repro-worker`` daemons
 (``--transport filequeue --spool-dir ...``), SIGKILLs one daemon mid-job, and
-diffs the ``--results-json`` canonical payloads against a serial run.  The
-``network-serve`` job does the same against a ``repro-serve`` daemon
-(``--transport network --serve-port ...``), killing and restarting the
-*server* mid-batch.
+diffs the ``--results-json`` canonical payloads against a serial run — then
+repeats the sweep with ``--no-spool-payloads``, asserting the spool carried
+only payload-free completion stubs.  The ``network-serve`` job does the same
+against a ``repro-serve`` daemon (``--transport network --serve-port ...``),
+killing and restarting the *server* mid-batch, and finishes with a warm
+client whose cache stack ends in the server's own tier (``--cache-remote``):
+the whole sweep must resolve over cache frames with zero executions.
 
 Usage::
 
@@ -77,6 +80,16 @@ def main(argv: list[str] | None = None) -> int:
         help="filequeue stale-lease timeout in seconds",
     )
     parser.add_argument(
+        "--cache-remote", default=None, metavar="HOST:PORT",
+        help="append a repro-serve cache tier behind --cache-dir "
+             "(reads fall through to it; writes go through both)",
+    )
+    parser.add_argument(
+        "--no-spool-payloads", action="store_true",
+        help="filequeue stub completions: workers write payloads straight "
+             "into the cache tier and the spool carries only tiny stubs",
+    )
+    parser.add_argument(
         "--results-json", default=None,
         help="write the canonical per-job result payloads here (bit-identity audits)",
     )
@@ -100,6 +113,10 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_updates(serve_host=args.serve_host)
     if args.serve_port is not None:
         config = config.with_updates(serve_port=args.serve_port)
+    if args.cache_remote:
+        config = config.with_updates(cache_remote=args.cache_remote)
+    if args.no_spool_payloads:
+        config = config.with_updates(spool_payloads=False)
     engine = Engine(config=config, processes=args.processes)
     jobs = [
         engine.spec(pdb_id, sequence) for pdb_id, sequence in FRAGMENTS

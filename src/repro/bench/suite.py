@@ -19,7 +19,16 @@ metric as median/p10/p90.  The suite covers the engine's hot paths:
   an empty vs freshly warmed result cache;
 * ``transport.ms_per_job.{serial,pool,filequeue}`` — per-job wall overhead of
   a small baseline-fold batch on each executor transport (worker spawn and
-  spool polling included: that *is* the overhead being measured).
+  spool polling included: that *is* the overhead being measured);
+* ``transport.ms_per_job.{filequeue_cached,filequeue_stub}`` and
+  ``transport.spool_result_bytes_per_job.{filequeue_cached,filequeue_stub}``
+  — the same file-queue batch with a result cache attached: full payloads
+  through the spool vs payload-free completion stubs (workers write the
+  cache tier directly).  Wall clock stays flat on a local disk; the bytes
+  metrics capture the shared-filesystem traffic stubs eliminate;
+* ``cache.remote_roundtrip_ops_per_sec`` — ``RemoteTier`` lookups against an
+  in-process ``repro-serve`` cache tier (one framed request/reply round trip
+  per op).
 
 Smoke mode shrinks repeat counts and workload sizes so the whole suite runs
 in well under a minute; the derived speedup ratios stay meaningful because
@@ -28,6 +37,8 @@ the pose batch size and circuit shapes are unchanged.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import shutil
 import tempfile
 import time
@@ -260,7 +271,76 @@ def bench_transport_overhead(config: PipelineConfig, smoke: bool) -> dict[str, f
         results["transport.ms_per_job.filequeue"] = run_batch(filequeue) * 1000.0 / len(jobs)
     finally:
         shutil.rmtree(spool, ignore_errors=True)
+
+    # The same file-queue batch with a result cache attached, both completion
+    # modes.  Fresh spool + cache directories per variant keep every run cold
+    # (the cache write path is part of what is being measured).
+    for suffix, spool_payloads in (("filequeue_cached", True), ("filequeue_stub", False)):
+        spool = tempfile.mkdtemp(prefix="repro-bench-spool-")
+        cache_dir = tempfile.mkdtemp(prefix="repro-bench-tier-")
+        try:
+            engine = Engine(
+                config=base.with_updates(
+                    transport="filequeue",
+                    spool_dir=spool,
+                    transport_workers=2,
+                    transport_poll_interval=0.02,
+                    cache_dir=cache_dir,
+                    spool_payloads=spool_payloads,
+                ),
+                processes=2,
+            )
+            results[f"transport.ms_per_job.{suffix}"] = run_batch(engine) * 1000.0 / len(jobs)
+            # The bytes that crossed the spool per completion — the shared
+            # filesystem traffic stub mode exists to eliminate.  Result files
+            # stay on disk after harvest, so sum them directly.
+            results_dir = os.path.join(spool, "results")
+            spool_bytes = sum(
+                entry.stat().st_size
+                for entry in os.scandir(results_dir)
+                if entry.name.endswith(".json")
+            )
+            results[f"transport.spool_result_bytes_per_job.{suffix}"] = (
+                spool_bytes / len(jobs)
+            )
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+            shutil.rmtree(cache_dir, ignore_errors=True)
     return results
+
+
+def bench_cache_remote(config: PipelineConfig, smoke: bool) -> dict[str, float]:
+    """``RemoteTier`` lookup round trips per second against a live server tier."""
+    from repro.engine.cache import LocalDirTier, RemoteTier
+    from repro.serve.server import ReproServer
+
+    ops = 40 if smoke else 200
+    keys = 8
+    root = tempfile.mkdtemp(prefix="repro-bench-remote-")
+    try:
+        local = LocalDirTier(root)
+        payloads = {}
+        for i in range(keys):
+            key = hashlib.sha256(f"bench-remote-{i}".encode("utf-8")).hexdigest()
+            payloads[key] = {"spec_hash": key, "schema": "bench/v1", "pad": "x" * 512}
+            local.put(key, payloads[key])
+        with ReproServer(workers=0, cache=local) as server:
+            tier = RemoteTier("127.0.0.1", server.port, timeout=10.0)
+            try:
+                key_list = list(payloads)
+                first = tier.get(key_list[0])  # connect + handshake outside the clock
+                if first != payloads[key_list[0]]:
+                    raise ReproError("remote tier returned a wrong or missing payload")
+                start = time.perf_counter()
+                for i in range(ops):
+                    if tier.get(key_list[i % keys]) is None:
+                        raise ReproError("remote tier missed a warmed key")
+                elapsed = time.perf_counter() - start
+            finally:
+                tier.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {"cache.remote_roundtrip_ops_per_sec": ops / elapsed}
 
 
 #: Metric name -> unit, for every metric the suite can emit.
@@ -277,6 +357,11 @@ METRIC_UNITS: dict[str, str] = {
     "transport.ms_per_job.serial": "ms",
     "transport.ms_per_job.pool": "ms",
     "transport.ms_per_job.filequeue": "ms",
+    "transport.ms_per_job.filequeue_cached": "ms",
+    "transport.ms_per_job.filequeue_stub": "ms",
+    "transport.spool_result_bytes_per_job.filequeue_cached": "bytes",
+    "transport.spool_result_bytes_per_job.filequeue_stub": "bytes",
+    "cache.remote_roundtrip_ops_per_sec": "ops/s",
 }
 
 #: The fixed suite, in execution order (cheap micro-benchmarks first).
@@ -285,6 +370,7 @@ BENCHMARKS: tuple[tuple[str, object], ...] = (
     ("statevector", bench_statevector),
     ("vqe-objective", bench_vqe_objective),
     ("docking-search", bench_docking_search),
+    ("cache-remote", bench_cache_remote),
     ("dataset-build", bench_dataset_build),
     ("transport-overhead", bench_transport_overhead),
 )
@@ -319,6 +405,14 @@ def derived_metrics(results: dict[str, dict]) -> dict[str, float]:
         "dataset.warm_cache_speedup",
         "dataset.build_seconds.cold",
         "dataset.build_seconds.warm",
+    )
+    # Stub completions trade payload bytes through the spool (the shared
+    # filesystem) for direct cache-tier writes; wall clock stays flat on a
+    # local disk, so the portable ratio is the spool-traffic shrink.
+    ratio(
+        "transport.filequeue_stub_spool_shrink",
+        "transport.spool_result_bytes_per_job.filequeue_cached",
+        "transport.spool_result_bytes_per_job.filequeue_stub",
     )
     return derived
 

@@ -53,7 +53,7 @@ import numpy as np
 BENCH_SCHEMA_VERSION = "bench/v1"
 
 #: Units whose metrics improve downward (latencies, wall times).
-_LOWER_IS_BETTER_UNITS = ("s", "ms", "us")
+_LOWER_IS_BETTER_UNITS = ("s", "ms", "us", "bytes")
 
 _BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
 

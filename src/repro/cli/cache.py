@@ -2,13 +2,20 @@
 
 Subcommands
 -----------
-* ``repro-cache ls DIR`` — list cached entries (kind, identity, size, age);
-* ``repro-cache stats DIR`` — aggregate counters (entries, bytes, per-kind);
+* ``repro-cache ls DIR`` — list cached entries (shard, kind, identity, size,
+  age);
+* ``repro-cache stats TIER`` — aggregate counters (entries, bytes, per-kind);
 * ``repro-cache prune DIR --max-bytes N`` — evict entries in recency order
   until the cache fits the bound (``--max-bytes 0`` empties it);
 * ``repro-cache verify DIR [--delete]`` — audit entry integrity (parseable
   JSON whose ``spec_hash`` matches the file name), optionally deleting
   corrupt entries.
+
+``TIER`` is a cache-tier spec: a local directory (or ``local:DIR``), or
+``remote:HOST:PORT`` to query a running ``repro-serve`` daemon's tier over
+the wire.  ``stats`` accepts both; ``ls``/``prune``/``verify`` need local
+files to walk and refuse remote specs with a pointer to run them on the
+server's own directory.
 
 Exit status: 0 on success; 1 when ``verify`` finds corrupt entries it was not
 asked to delete; 2 on usage errors (e.g. the directory does not exist).
@@ -27,7 +34,8 @@ import sys
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import RemoteTier, ResultCache, parse_tier_spec
+from repro.exceptions import EngineError
 from repro.utils.io import read_json
 
 
@@ -40,7 +48,19 @@ def _human_bytes(n: int) -> str:
     return f"{int(n)} B"
 
 
+def _is_remote_spec(cache_dir: str) -> bool:
+    return str(cache_dir).strip().startswith("remote:")
+
+
 def _open_cache(cache_dir: str) -> ResultCache:
+    if _is_remote_spec(cache_dir):
+        print(
+            f"repro-cache: {cache_dir!r} is a remote tier; only 'stats' works "
+            "over the wire — run this subcommand on the server's cache "
+            "directory instead",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     path = Path(cache_dir).expanduser()
     if not path.is_dir():
         print(f"repro-cache: cache directory {cache_dir!r} does not exist", file=sys.stderr)
@@ -64,33 +84,67 @@ def _entry_summary(path: Path) -> tuple[str, str]:
     return kind, str(identity)
 
 
+def _misplaced(entry) -> bool:
+    """A file whose shard directory does not match its key prefix.
+
+    The engine only ever writes ``root/<key[:2]>/<key>.json``; anything else
+    was hand-moved or produced by a foreign tool, and lookups for its key
+    will never find it where it sits.
+    """
+    return entry.path.parent.name != entry.key[:2]
+
+
 def cmd_ls(args: argparse.Namespace) -> int:
     """List cached entries, least recently touched first."""
     cache = _open_cache(args.cache_dir)
     entries = cache.entries()
     if args.limit is not None:
         entries = entries[: args.limit]
-    print(f"{'key':<16} {'kind':<14} {'identity':<24} {'size':>10}  last touched (UTC)")
+    print(f"{'key':<16} {'shard':<5} {'kind':<14} {'identity':<24} {'size':>10}  last touched (UTC)")
     for entry in entries:
         kind, identity = _entry_summary(entry.path)
         touched = datetime.fromtimestamp(entry.mtime, tz=timezone.utc).strftime("%Y-%m-%d %H:%M:%S")
-        print(f"{entry.key[:16]:<16} {kind:<14} {identity:<24} {_human_bytes(entry.size_bytes):>10}  {touched}")
+        shard = entry.path.parent.name
+        print(
+            f"{entry.key[:16]:<16} {shard:<5} {kind:<14} {identity:<24} "
+            f"{_human_bytes(entry.size_bytes):>10}  {touched}"
+        )
+        if _misplaced(entry):
+            print(
+                f"repro-cache: warning: {entry.path} sits in shard "
+                f"{shard!r} but its key starts with {entry.key[:2]!r}; "
+                "lookups will miss it",
+                file=sys.stderr,
+            )
     print(f"{len(entries)} entries shown")
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Print aggregate cache statistics."""
+    """Print aggregate cache statistics (local directory or remote tier)."""
+    if _is_remote_spec(args.cache_dir):
+        return _remote_stats(args)
     cache = _open_cache(args.cache_dir)
-    entries = cache.entries()
     by_kind: dict[str, int] = {}
-    for entry in entries:
+    counted = []
+    for entry in cache.entries():
+        if _misplaced(entry):
+            # A misplaced file is invisible to lookups; counting it would
+            # report capacity the cache cannot actually serve.
+            print(
+                f"repro-cache: warning: skipping {entry.path} — it sits in "
+                f"shard {entry.path.parent.name!r} but its key starts with "
+                f"{entry.key[:2]!r} (move or delete it)",
+                file=sys.stderr,
+            )
+            continue
+        counted.append(entry)
         kind, _ = _entry_summary(entry.path)
         by_kind[kind] = by_kind.get(kind, 0) + 1
-    total = sum(e.size_bytes for e in entries)
+    total = sum(e.size_bytes for e in counted)
     stats = {
         "cache_dir": str(cache.root),
-        "entries": len(entries),
+        "entries": len(counted),
         "total_bytes": total,
         "by_kind": dict(sorted(by_kind.items())),
     }
@@ -102,6 +156,38 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"total size      : {_human_bytes(total)}")
         for kind, count in stats["by_kind"].items():
             print(f"  {kind:<14}: {count}")
+    return 0
+
+
+def _remote_stats(args: argparse.Namespace) -> int:
+    """``stats`` against a running ``repro-serve`` daemon's cache tier."""
+    try:
+        tier = parse_tier_spec(args.cache_dir)
+    except EngineError as exc:
+        print(f"repro-cache: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    assert isinstance(tier, RemoteTier)
+    stats = tier.remote_stats()
+    tier.close()
+    if stats is None:
+        print(
+            f"repro-cache: cannot reach repro-serve at {tier.host}:{tier.port} "
+            "(or it serves without a cache)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    stats = {"tier": args.cache_dir, **stats}
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(f"remote tier     : {tier.host}:{tier.port}")
+        print(f"server cache    : {stats.get('root') or '?'}")
+        print(f"entries         : {stats.get('entries')}")
+        print(f"total size      : {_human_bytes(int(stats.get('total_bytes') or 0))}")
+        print(
+            f"server counters : {stats.get('hits')} hits, {stats.get('misses')} misses, "
+            f"{stats.get('writes')} writes, {stats.get('evictions')} evictions"
+        )
     return 0
 
 
@@ -148,7 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     ls.set_defaults(func=cmd_ls)
 
     stats = sub.add_parser("stats", help="aggregate cache statistics")
-    stats.add_argument("cache_dir", help="cache directory")
+    stats.add_argument(
+        "cache_dir",
+        help="cache directory, or remote:HOST:PORT for a running repro-serve tier",
+    )
     stats.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     stats.set_defaults(func=cmd_stats)
 

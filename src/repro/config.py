@@ -68,6 +68,27 @@ class PipelineConfig:
         default; a cache hit refreshes the entry, so the least-recently-used
         entries go first) or ``"fifo"`` (hits do not refresh, so the oldest
         written entries go first).
+    cache_tiers:
+        Ordered cache-tier spec strings (``"DIR"``, ``"local:DIR"`` or
+        ``"remote:HOST:PORT"``) composed into a
+        :class:`~repro.engine.cache.TieredCache`: local-first reads,
+        promote-on-remote-hit, write-through.  ``None`` (the default) keeps
+        the single ``cache_dir`` tier.  Cache topology never changes results
+        — the determinism harness asserts flat, tiered and remote-backed
+        runs are bit-identical — so like every cache knob this never enters
+        any job hash.
+    cache_remote:
+        Convenience spec of one shared ``repro-serve`` cache endpoint
+        (``"HOST:PORT"``), appended as the outermost tier behind
+        ``cache_dir`` / ``cache_tiers``.  Never enters any job hash.
+    spool_payloads:
+        Whether ``filequeue`` workers embed full result payloads in their
+        spool completion records (the default).  ``False`` switches to
+        payload-free *stub* completions: workers write the payload directly
+        into a cache tier every machine can reach (``cache_remote`` if set,
+        else the last ``cache_tiers`` entry, else ``cache_dir``) and publish
+        only ``task_id`` + ``content_hash`` + status through the spool.
+        Bit-identical either way; never enters any job hash.
     session_dir:
         Directory for the engine's streaming-session journals (one JSONL
         status file plus a spec pickle per session, next to the result
@@ -147,6 +168,9 @@ class PipelineConfig:
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
     cache_eviction: str = "lru"
+    cache_tiers: tuple[str, ...] | None = None
+    cache_remote: str | None = None
+    spool_payloads: bool = True
     session_dir: str | None = None
     on_error: str = "isolate"
     transport: str = "auto"

@@ -35,7 +35,17 @@ and :mod:`repro.cli.cache` / :mod:`repro.cli.session` /
 ``repro-worker`` tools.
 """
 
-from repro.engine.cache import CacheEntry, CacheStats, ResultCache
+from repro.engine.cache import (
+    CacheEntry,
+    CacheStats,
+    CacheTier,
+    LocalDirTier,
+    RemoteTier,
+    ResultCache,
+    TieredCache,
+    parse_tier_spec,
+    resolve_cache,
+)
 from repro.engine.jobs import (
     BASELINE_SCHEMA_VERSION,
     DOCK_SCHEMA_VERSION,
@@ -97,6 +107,7 @@ __all__ = [
     "BaselineFoldSpec",
     "CacheEntry",
     "CacheStats",
+    "CacheTier",
     "DockJobResult",
     "DockSpec",
     "Engine",
@@ -106,14 +117,17 @@ __all__ = [
     "JobFailure",
     "JobResult",
     "JobSpec",
+    "LocalDirTier",
     "NetworkTransport",
     "PoolTransport",
     "RemoteJobError",
+    "RemoteTier",
     "ResultCache",
     "SerialTransport",
     "Session",
     "SessionJournal",
     "SessionProgress",
+    "TieredCache",
     "Transport",
     "TransportCapabilities",
     "backend_names",
@@ -126,8 +140,10 @@ __all__ = [
     "executor_kinds",
     "make_backend",
     "make_transport",
+    "parse_tier_spec",
     "register_backend",
     "register_executor",
+    "resolve_cache",
     "register_transport",
     "result_from_payload",
     "transport_names",

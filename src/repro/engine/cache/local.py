@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache for the execution engine.
+"""Content-addressed on-disk cache tier — the original ``ResultCache``.
 
 Each cached result lives in its own JSON file named by the job's content hash
 (sharded by the first two hex characters to keep directories small), so the
@@ -14,9 +14,9 @@ the bound by evicting entries in recency order.  Two eviction policies exist:
   *written* entries first.
 
 Eviction only ever costs recompute time, never correctness: an evicted job
-re-executes to a bit-identical result.  :meth:`ResultCache.prune` applies the
-bound on demand and :meth:`ResultCache.verify` audits entry integrity — both
-are surfaced by the ``repro-cache`` command-line tool
+re-executes to a bit-identical result.  :meth:`LocalDirTier.prune` applies
+the bound on demand and :meth:`LocalDirTier.verify` audits entry integrity —
+both are surfaced by the ``repro-cache`` command-line tool
 (:mod:`repro.cli.cache`).
 """
 
@@ -24,14 +24,14 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.engine.cache.base import CacheEntry, CacheStats, LocationToken
 from repro.exceptions import EngineError
 from repro.utils.io import read_json, write_json
 
-#: Eviction policies understood by :class:`ResultCache`.
+#: Eviction policies understood by :class:`LocalDirTier`.
 EVICTION_POLICIES: tuple[str, ...] = ("lru", "fifo")
 
 #: When a write overflows the bound, evict down to this fraction of it so a
@@ -39,51 +39,7 @@ EVICTION_POLICIES: tuple[str, ...] = ("lru", "fifo")
 LOW_WATER_FRACTION = 0.9
 
 
-@dataclass
-class CacheStats:
-    """Hit / miss / write / eviction counters of one cache instance."""
-
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        """Total number of ``get`` calls."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when never queried)."""
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def as_dict(self) -> dict[str, Any]:
-        """Plain-dict view for logs and reports."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
-
-
-@dataclass(frozen=True)
-class CacheEntry:
-    """One on-disk cache entry's bookkeeping view (no payload)."""
-
-    key: str
-    path: Path
-    size_bytes: int
-    mtime: float
-    #: Nanosecond mtime, for change detection: float ``st_mtime`` loses
-    #: precision and coarse-granularity filesystems (1s, 2s on exFAT) make
-    #: same-tick rewrites indistinguishable by ``mtime`` alone.
-    mtime_ns: int = 0
-
-
-class ResultCache:
+class LocalDirTier:
     """Content-addressed JSON store keyed by job hash, optionally size-bounded.
 
     Parameters
@@ -120,6 +76,15 @@ class ResultCache:
         # before prune() considers evicting it, so tests can interleave a
         # concurrent writer/pruner at the exact race window.
         self._before_evict = None
+
+    @property
+    def location(self) -> LocationToken:
+        """Identity token of this tier: the resolved cache directory."""
+        return ("local", str(self.root.resolve()))
+
+    def covers(self, token: LocationToken | None) -> bool:
+        """Whether ``token`` names *this* directory (same resolved path)."""
+        return token is not None and tuple(token) == self.location
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -160,13 +125,20 @@ class ResultCache:
             return None
         return payload
 
-    def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Store ``payload`` under ``key``, then enforce the size bound."""
+    def put(self, key: str, payload: dict[str, Any], stored_in: LocationToken | None = None) -> bool:
+        """Store ``payload`` under ``key``, then enforce the size bound.
+
+        ``stored_in`` is the write-through skip: when it names this very
+        directory the payload is already on disk (a worker wrote it here
+        directly) and the write is elided.
+        """
+        if self.covers(stored_in):
+            return True
         path = self._path(key)
         if self.max_bytes is None:
             write_json(path, payload)
             self.stats.writes += 1
-            return
+            return True
         try:
             old_size = path.stat().st_size
         except OSError:
@@ -183,6 +155,7 @@ class ResultCache:
             self._tracked_total += new_size - old_size
         if self._tracked_total > self.max_bytes:
             self.prune(int(self.max_bytes * LOW_WATER_FRACTION))
+        return True
 
     # -- introspection / maintenance ---------------------------------------------------
 
@@ -306,3 +279,9 @@ class ResultCache:
             removed += 1
         self._tracked_total = 0
         return removed
+
+
+#: Historical name, kept as the public alias: ``ResultCache`` predates the
+#: tier protocol and every caller that opened a cache by path still gets
+#: exactly this class with identical on-disk format and eviction semantics.
+ResultCache = LocalDirTier

@@ -38,7 +38,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.config import PipelineConfig
-from repro.engine.cache import ResultCache
+from repro.engine.cache import resolve_cache
 from repro.engine.jobs import (
     BaselineFoldSpec,
     DockJobResult,
@@ -163,10 +163,16 @@ class Engine:
         helpers; also supplies ``engine_workers``, ``cache_dir`` and the cache
         size-bound (``cache_max_bytes`` / ``cache_eviction``) defaults.
     cache:
-        A :class:`ResultCache`, a directory path, or ``None``.  ``None`` falls
-        back to ``config.cache_dir`` (and disables caching when that is also
-        ``None``).  Paths are opened with the config's size bound and
-        eviction policy.
+        A cache tier instance (:class:`ResultCache` / :class:`LocalDirTier`,
+        :class:`~repro.engine.cache.RemoteTier`,
+        :class:`~repro.engine.cache.TieredCache`), a tier spec string or
+        directory path, a sequence of specs/tiers (composed into a
+        :class:`~repro.engine.cache.TieredCache`), or ``None``.  ``None``
+        resolves from the config: ``cache_tiers`` if set, else ``cache_dir``,
+        with ``cache_remote`` appended as the outermost tier — and disables
+        caching when none of those are set.  Local tiers opened from specs
+        use the config's size bound and eviction policy; see
+        :func:`repro.engine.cache.resolve_cache`.
     processes:
         Default worker-process count for :meth:`run`; ``None`` uses
         ``config.engine_workers``.  ``0``/``1`` executes serially.
@@ -180,21 +186,13 @@ class Engine:
     def __init__(
         self,
         config: PipelineConfig | None = None,
-        cache: ResultCache | str | Path | None = None,
+        cache: Any = None,
         processes: int | None = None,
         transport: str | None = None,
     ):
         self.config = config or PipelineConfig()
         self.transport_name = transport or self.config.transport
-        if cache is None and self.config.cache_dir:
-            cache = self.config.cache_dir
-        if isinstance(cache, (str, Path)):
-            cache = ResultCache(
-                cache,
-                max_bytes=self.config.cache_max_bytes,
-                eviction=self.config.cache_eviction,
-            )
-        self.cache = cache
+        self.cache = resolve_cache(self.config, cache)
         self.processes = self.config.engine_workers if processes is None else int(processes)
         self.executed_jobs = 0
         self.completed_jobs = 0

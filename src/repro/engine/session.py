@@ -52,6 +52,7 @@ source of results, and losing either only ever costs recompute time.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import uuid
 from dataclasses import dataclass, field
@@ -240,6 +241,10 @@ class SessionJournal:
                     journal.failed[spec_hash] = record
             elif kind == "resume":
                 journal.resumes += 1
+            elif kind == "compact":
+                # A compaction rewrote the file, folding its resume markers
+                # into one record so the audit count survives the rewrite.
+                journal.resumes += int(record.get("resumes", 0) or 0)
         if not saw_header:
             raise EngineError(
                 f"session journal {journal.path} has no readable header record"
@@ -310,6 +315,67 @@ class SessionJournal:
         """Append a resume marker (kept for audit; resume logic keys off job records)."""
         self.resumes += 1
         self._append({"record": "resume", "resumed_at": utcnow_iso()})
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """Rewrite the journal keeping only the latest record per job.
+
+        A long-lived sweep resumed many times accretes one ``job`` line per
+        re-submission — the journal grows without bound while carrying no
+        more information than its final state.  Compaction rewrites the file
+        as: the header, one ``compact`` record folding the accumulated
+        resume markers (so :attr:`resumes` survives), then the latest record
+        of each unique job (``completed`` beats ``failed``, exactly the
+        precedence :meth:`open` applies).  The rewrite is atomic
+        (tmp + ``os.replace``), so a crash mid-compaction leaves the old
+        journal intact.  Returns before/after record and byte counts.
+        """
+        if self.created_at is None:
+            raise EngineError(
+                f"session journal {self.path} must be open()ed or create()d "
+                "before it can be compacted"
+            )
+        try:
+            before = self.path.stat().st_size
+        except OSError as exc:
+            raise EngineError(f"cannot stat session journal {self.path}: {exc}") from exc
+        records_before = sum(
+            1 for line in self.path.read_text(encoding="utf-8", errors="replace").splitlines()
+            if line.strip()
+        )
+        records: list[dict[str, Any]] = [{
+            "record": "session",
+            "schema": SESSION_SCHEMA_VERSION,
+            "session_id": self.session_id,
+            "created_at": self.created_at,
+            "total_jobs": len(self.spec_hashes),
+            "spec_hashes": self.spec_hashes,
+        }]
+        if self.resumes:
+            records.append({
+                "record": "compact",
+                "resumes": self.resumes,
+                "compacted_at": utcnow_iso(),
+            })
+        for spec_hash in dict.fromkeys(self.spec_hashes):
+            latest = self.completed.get(spec_hash) or self.failed.get(spec_hash)
+            if latest is not None:
+                records.append(latest)
+        tmp = self.path.with_name(f".{self.path.name}.compact-{os.getpid()}")
+        tmp.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        self._repair_newline = False
+        after = self.path.stat().st_size
+        return {
+            "records_before": records_before,
+            "records_after": len(records),
+            "bytes_before": before,
+            "bytes_after": after,
+        }
 
     # -- reporting -------------------------------------------------------------------
 
@@ -470,7 +536,15 @@ class Session:
                 kind = getattr(self.jobs[i], "kind", "fold")
                 if exc is None:
                     if engine.cache is not None:
-                        engine.cache.put(key, result.to_payload())
+                        # A remote transport may have already written the
+                        # payload into a cache tier (a filequeue stub, or the
+                        # serve daemon's own cache); skip the redundant
+                        # write-through when *every* tier we hold is covered,
+                        # and otherwise let each tier skip itself.
+                        stored = getattr(result, "stored_in", None)
+                        covers = getattr(engine.cache, "covers", None)
+                        if stored is None or covers is None or not covers(stored):
+                            engine.cache.put(key, result.to_payload(), stored_in=stored)
                     if self.journal is not None:
                         self.journal.record_job(key, "completed", kind)
                     engine.executed_jobs += 1

@@ -38,6 +38,18 @@ broker, no sockets and no new dependencies:
         session loop, which persists them through the existing
         :class:`~repro.engine.cache.ResultCache` and session journal — so
         crash/resume semantics are identical to the local transports.
+
+        With ``PipelineConfig.spool_payloads = False`` the task envelope
+        carries a cache-tier spec every worker can reach (see
+        :func:`~repro.engine.cache.parse_tier_spec`): the worker writes the
+        payload *directly into that tier* and publishes only a tiny
+        **completion stub** (``task_id``, ``content_hash``, status, the tier
+        spec under ``stored``) through the spool.  ``_harvest`` resolves the
+        payload back out of the tier and marks the rebuilt outcome with the
+        tier's location token (``outcome.stored_in``) so the session's
+        write-through can skip the redundant put.  A worker that cannot
+        reach the tier falls back to embedding the full payload — stub mode
+        degrades to payload mode, never to a lost result.
     ``log/<worker_id>.jsonl``
         One record per *finished* execution (appended after the result file
         lands).  A job is executed-to-completion exactly once, so CI can
@@ -189,9 +201,16 @@ class FileQueueSpool:
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
-    def enqueue(self, task_id: str, spec: Any) -> None:
-        """Publish one task (atomically: a worker never sees a torn pickle)."""
-        envelope = {"task_id": task_id, "spec": spec}
+    def enqueue(self, task_id: str, spec: Any, cache_spec: str | None = None) -> None:
+        """Publish one task (atomically: a worker never sees a torn pickle).
+
+        ``cache_spec`` (stub-completion mode) names the cache tier the
+        claiming worker should write the result payload into instead of
+        embedding it in the spool record.
+        """
+        envelope: dict[str, Any] = {"task_id": task_id, "spec": spec}
+        if cache_spec:
+            envelope["cache"] = str(cache_spec)
         self._atomic_write(self.task_path(task_id), pickle.dumps(envelope))
 
     def task_ids(self) -> list[str]:
@@ -427,6 +446,9 @@ class FileQueueWorker:
         self._execute = execute
         self.executed = 0
         self.failed = 0
+        #: cache-tier spec -> tier, memoised across tasks so a fleet worker
+        #: keeps one remote connection instead of a handshake per job.
+        self._tiers: dict[str, Any] = {}
 
     def _run_spec(self, spec: Any) -> Any:
         if self._execute is not None:
@@ -434,6 +456,44 @@ class FileQueueWorker:
         from repro.engine.core import execute_job  # late: registers built-in kinds
 
         return execute_job(spec)
+
+    def _cache_tier(self, cache_spec: str) -> Any:
+        tier = self._tiers.get(cache_spec)
+        if tier is None:
+            from repro.engine.cache import parse_tier_spec
+
+            # No config: local tiers open unbounded — eviction policy belongs
+            # to the owning session's cache instance, not to every writer.
+            tier = parse_tier_spec(cache_spec)
+            self._tiers[cache_spec] = tier
+        return tier
+
+    def _store_payload(
+        self, envelope: Any, record: dict[str, Any], payload: dict[str, Any]
+    ) -> str | None:
+        """Write ``payload`` into the envelope's cache tier (stub mode).
+
+        Returns the tier spec on success — the stub record advertises it
+        under ``stored`` so the submitter knows where to look — or ``None``
+        when no tier is requested or the write failed, in which case the
+        caller embeds the payload in the spool record as usual.
+        """
+        cache_spec = envelope.get("cache") if isinstance(envelope, dict) else None
+        key = record.get("spec_hash")
+        if not cache_spec or not key:
+            return None
+        try:
+            tier = self._cache_tier(cache_spec)
+            if not tier.put(key, payload):
+                raise EngineError(f"tier {cache_spec!r} did not acknowledge the write")
+        except Exception as exc:
+            logger.warning(
+                "worker %s: cannot write result %s into cache tier %r (%s: %s); "
+                "falling back to a spool payload",
+                self.worker_id, key[:16], cache_spec, type(exc).__name__, exc,
+            )
+            return None
+        return cache_spec
 
     def run_once(self) -> str | None:
         """Claim and fully process one task; returns its id (None when idle)."""
@@ -491,13 +551,25 @@ class FileQueueWorker:
             ):
                 try:
                     outcome = self._run_spec(spec)
-                    record.update(status="completed", payload=outcome.to_payload())
+                    payload = outcome.to_payload()
                 except Exception as exc:
                     record.update(
                         status="failed",
                         error_type=type(exc).__name__,
                         error_message=str(exc),
                     )
+                else:
+                    stored = self._store_payload(envelope, record, payload)
+                    if stored is not None:
+                        # Payload-free stub: the bytes live in the cache tier;
+                        # the spool carries only identity + status.
+                        record.update(
+                            status="completed",
+                            content_hash=record.get("spec_hash"),
+                            stored=stored,
+                        )
+                    else:
+                        record.update(status="completed", payload=payload)
         try:
             self.spool.write_result(task_id, record)
         except (TypeError, ValueError) as exc:
@@ -575,6 +647,12 @@ class FileQueueTransport(Transport):
     batch's lifetime (and respawns members that die while work remains, up to
     ``respawn_limit``); ``workers == 0`` relies entirely on externally
     launched daemons watching the same spool.
+
+    ``cache_spec`` switches the batch to payload-free stub completions:
+    every task envelope carries the spec of a cache tier the whole fleet can
+    reach, workers write payloads straight into it, and harvesting resolves
+    them back out (see the module docstring).  Derived from
+    ``PipelineConfig.spool_payloads = False`` by the transport factory.
     """
 
     name: ClassVar[str] = "filequeue"
@@ -589,8 +667,11 @@ class FileQueueTransport(Transport):
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         poll_interval: float = 0.05,
         respawn_limit: int = 5,
+        cache_spec: str | None = None,
     ):
         self.spool = FileQueueSpool(spool_dir)
+        self.cache_spec = str(cache_spec) if cache_spec else None
+        self._stub_tiers: dict[str, Any] = {}
         self.worker_count = max(0, int(workers))
         self.lease_timeout = float(lease_timeout)
         self.poll_interval = max(0.005, float(poll_interval))
@@ -621,7 +702,7 @@ class FileQueueTransport(Transport):
         self._submitted = True
         for index, spec in enumerate(specs):
             task_id = f"{self.batch_id}-{index:05d}-{spec.content_hash()[:16]}"
-            self.spool.enqueue(task_id, spec)
+            self.spool.enqueue(task_id, spec, cache_spec=self.cache_spec)
             self._outstanding[task_id] = index
         for _ in range(self.worker_count):
             self._spawn_worker()
@@ -722,13 +803,50 @@ class FileQueueTransport(Transport):
             self._last_activity = time.monotonic()
         return completions
 
+    def _stub_tier(self, cache_spec: str) -> Any:
+        """The tier a stub record points at, memoised; ``None`` on a bad spec."""
+        if cache_spec not in self._stub_tiers:
+            from repro.engine.cache import parse_tier_spec
+
+            try:
+                self._stub_tiers[cache_spec] = parse_tier_spec(cache_spec)
+            except Exception as exc:
+                logger.warning(
+                    "filequeue %s: cannot open cache tier %r from a stub record: %s",
+                    self.batch_id, cache_spec, exc,
+                )
+                self._stub_tiers[cache_spec] = None
+        return self._stub_tiers[cache_spec]
+
     def _completion(self, index: int, task_id: str, record: dict[str, Any]) -> Completion:
         worker = record.get("worker_id")
         if record.get("status") == "completed":
             from repro.engine.jobs import result_from_payload
 
+            payload = record.get("payload")
+            tier = None
+            if payload is None:
+                # Payload-free stub: the worker wrote the payload into a
+                # shared cache tier; fetch it from there.
+                stored = record.get("stored")
+                key = record.get("content_hash") or record.get("spec_hash")
+                tier = self._stub_tier(str(stored)) if stored else None
+                if tier is not None and key:
+                    payload = tier.get(key)
+                if payload is None:
+                    return (
+                        index, None,
+                        RemoteJobError(
+                            "SpoolError",
+                            f"result of {task_id} was announced in cache tier "
+                            f"{stored!r} but its payload cannot be fetched "
+                            "(tier unreachable or entry evicted); resume the "
+                            "session to re-run it",
+                            worker,
+                        ),
+                    )
             try:
-                outcome = result_from_payload(record["payload"])
+                outcome = result_from_payload(payload)
             except Exception as exc:
                 return (
                     index, None,
@@ -741,6 +859,10 @@ class FileQueueTransport(Transport):
             # Executed remotely, not served from the result cache: the session
             # caches and journals it exactly like a pool completion.
             outcome.from_cache = False
+            if tier is not None:
+                # Where the payload already durably lives, so the session's
+                # write-through can skip the tiers that cover it.
+                outcome.stored_in = tier.location
             return (index, outcome, None)
         return (
             index, None,
@@ -861,11 +983,32 @@ def _build_filequeue(config: Any, processes: int) -> FileQueueTransport:
     workers = getattr(config, "transport_workers", None)
     if workers is None:
         workers = max(0, int(processes))
+    cache_spec = None
+    if not getattr(config, "spool_payloads", True):
+        # Stub completions need one tier every worker can reach.  Preference
+        # order: the explicit shared endpoint, then the outermost (most
+        # shared) configured tier, then the engine's own cache directory.
+        remote = getattr(config, "cache_remote", None)
+        tiers = getattr(config, "cache_tiers", None)
+        if remote:
+            cache_spec = str(remote)
+            if not cache_spec.startswith("remote:"):
+                cache_spec = f"remote:{cache_spec}"
+        elif tiers:
+            cache_spec = str(tuple(tiers)[-1])
+        elif getattr(config, "cache_dir", None):
+            cache_spec = str(config.cache_dir)
+        else:
+            raise EngineError(
+                "spool_payloads=False needs a cache tier every worker can "
+                "reach: set config.cache_remote, cache_tiers or cache_dir"
+            )
     return FileQueueTransport(
         spool_dir,
         workers=workers,
         lease_timeout=getattr(config, "transport_lease_timeout", DEFAULT_LEASE_TIMEOUT),
         poll_interval=getattr(config, "transport_poll_interval", 0.05),
+        cache_spec=cache_spec,
     )
 
 

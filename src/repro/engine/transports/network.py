@@ -273,6 +273,11 @@ class NetworkTransport(Transport):
             # Executed (or served from the *server's* cache) remotely: the
             # session caches and journals it exactly like a pool completion.
             outcome.from_cache = False
+            if record.get("stored") or record.get("cached"):
+                # The server's own tier already holds the payload; a
+                # RemoteTier pointed at the same host:port covers this token
+                # (textual address match) and skips its write-through put.
+                outcome.stored_in = ("remote", self.host, self.port)
             return (index, outcome, None)
         return (
             index, None,

@@ -20,17 +20,27 @@ you would not let write your spool directory.
 Message types
 -------------
 
-========== =========== ==================================================
-frame      direction   fields
-========== =========== ==================================================
-``hello``   c -> s     ``client_id``, ``protocol``
-``welcome`` s -> c     ``protocol``, ``server_id``, ``max_inflight``
-``job``     c -> s     ``index``, ``spec`` (pickled spec object)
-``result``  s -> c     ``index``, ``record`` (spool-format result record)
-``busy``    s -> c     ``index``, ``reason`` (admission-control rejection)
-``error``   s -> c     ``reason`` (protocol violation; connection closes)
-``bye``     c -> s     clean disconnect (submitter walked away)
-========== =========== ==================================================
+================= =========== ==================================================
+frame             direction   fields
+================= =========== ==================================================
+``hello``          c -> s     ``client_id``, ``protocol``
+``welcome``        s -> c     ``protocol``, ``server_id``, ``max_inflight``
+``job``            c -> s     ``index``, ``spec`` (pickled spec object)
+``result``         s -> c     ``index``, ``record`` (spool-format result record)
+``busy``           s -> c     ``index``, ``reason`` (admission-control rejection)
+``error``          s -> c     ``reason`` (protocol violation; connection closes)
+``bye``            c -> s     clean disconnect (submitter walked away)
+``cache_get``      c -> s     ``key``, optional ``peek`` (stat-neutral lookup)
+``cache_payload``  s -> c     ``key``, ``payload`` (``None`` on a miss)
+``cache_put``      c -> s     ``key``, ``payload`` (canonical-JSON result payload)
+``cache_ack``      s -> c     ``key``, ``stored`` (``False`` = dropped, retry elsewhere)
+``cache_stats``    c <-> s    request has no fields; reply carries ``stats``
+================= =========== ==================================================
+
+The ``cache_*`` frames are how a
+:class:`~repro.engine.cache.RemoteTier` reads and writes the server's local
+cache tier — the request/reply pairs share one connection with job traffic
+and are answered in arrival order through the same per-connection outbox.
 """
 
 from __future__ import annotations

@@ -121,6 +121,8 @@ class _ClientConnection:
                 kind = message.get("type")
                 if kind == "job":
                     self.server._accept_job(self, message)
+                elif kind in ("cache_get", "cache_put", "cache_stats"):
+                    self.server._handle_cache(self, message)
                 elif kind == "bye":
                     return
                 else:
@@ -237,6 +239,8 @@ class ReproServer:
         self.jobs_failed = 0
         self.jobs_rejected = 0
         self.cache_hits = 0
+        self.cache_gets = 0
+        self.cache_puts = 0
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -428,6 +432,63 @@ class ReproServer:
                 self._on_done(conn, index, key, kind, f)
         )
 
+    def _handle_cache(self, conn: _ClientConnection, message: dict[str, Any]) -> None:
+        """Serve one :class:`~repro.engine.cache.RemoteTier` request.
+
+        The server's local tier doubles as a shared cache tier for remote
+        clients and file-queue workers: ``cache_get`` reads through it,
+        ``cache_put`` writes through it (after the same canonical JSON
+        normalisation job results get), ``cache_stats`` reports it.  Replies
+        ride the per-connection outbox, so they interleave safely with
+        concurrent ``result`` frames.
+        """
+        kind = message.get("type")
+        if kind == "cache_stats":
+            with self._lock:
+                self.cache_gets += 1
+            stats = None
+            if self.cache is not None:
+                entries = self.cache.entries()
+                stats = {
+                    "root": str(getattr(self.cache, "root", "")),
+                    "entries": len(entries),
+                    "total_bytes": sum(e.size_bytes for e in entries),
+                    **self.cache.stats.as_dict(),
+                }
+            conn.send({"type": "cache_stats", "stats": stats})
+            return
+        key = message.get("key")
+        if not isinstance(key, str) or not key:
+            raise ProtocolError(f"{kind} frame without a string key: {key!r}")
+        if kind == "cache_get":
+            with self._lock:
+                self.cache_gets += 1
+            payload = None
+            if self.cache is not None:
+                payload = self.cache.peek(key) if message.get("peek") else self.cache.get(key)
+            conn.send({"type": "cache_payload", "key": key, "payload": payload})
+            return
+        stored = False
+        if self.cache is not None:
+            try:
+                payload = message.get("payload")
+                if not isinstance(payload, dict):
+                    raise ProtocolError(f"cache_put payload must be a dict, got {type(payload).__name__}")
+                # Same canonical encoding job results get on their way into
+                # the cache, so a payload written by a remote worker is
+                # byte-identical to one the server computed itself.
+                payload = json.loads(json.dumps(payload, sort_keys=True, cls=_NumpyJSONEncoder))
+                self.cache.put(key, payload)
+                stored = True
+            except Exception as exc:
+                logger.warning(
+                    "serve %s: cannot store remote cache_put %s: %s",
+                    self.server_id, key[:16], exc,
+                )
+        with self._lock:
+            self.cache_puts += 1
+        conn.send({"type": "cache_ack", "key": key, "stored": stored})
+
     @staticmethod
     def _fingerprint(spec: Any) -> tuple[str | None, str | None, dict[str, Any] | None]:
         try:
@@ -503,6 +564,11 @@ class ReproServer:
                     "serve %s: cannot cache result %s: %s",
                     self.server_id, cache_key[:16], exc,
                 )
+            else:
+                # Tells tier-aware clients the payload is already held by
+                # this server's cache tier, so their write-through can skip
+                # the redundant round trip back here.
+                record["stored"] = True
         with self._lock:
             conn.inflight -= 1
             self._pending_total -= 1
@@ -526,5 +592,7 @@ class ReproServer:
                 "jobs_failed": self.jobs_failed,
                 "jobs_rejected": self.jobs_rejected,
                 "cache_hits": self.cache_hits,
+                "cache_gets": self.cache_gets,
+                "cache_puts": self.cache_puts,
                 "pending": self._pending_total,
             }

@@ -59,11 +59,12 @@ def test_run_suite_unknown_filter_raises():
 
 
 def test_every_benchmark_has_units_registered():
-    assert len(BENCHMARKS) == 6
+    assert len(BENCHMARKS) == 7
     names = {name for name, _fn in BENCHMARKS}
     assert names == {
         "docking-scoring", "statevector", "vqe-objective",
-        "docking-search", "dataset-build", "transport-overhead",
+        "docking-search", "cache-remote", "dataset-build",
+        "transport-overhead",
     }
     # derived_metrics only emits ratios whose inputs exist.
     assert derived_metrics({}) == {}

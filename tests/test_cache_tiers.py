@@ -1,0 +1,371 @@
+"""The cache-tier battery: spec parsing and config resolution, the tiered
+stack (local-first reads, promotion, write-through, the ``covers``/
+``stored_in`` skip), two stacks racing put/prune on one shared local tier,
+the remote tier against a live ``repro-serve`` (including a server restart
+mid-lookup), and payload-free stub completions end to end through the
+file-queue worker and transport."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.engine import (
+    FileQueueSpool,
+    FileQueueTransport,
+    FileQueueWorker,
+    LocalDirTier,
+    RemoteTier,
+    ResultCache,
+    TieredCache,
+    parse_tier_spec,
+    resolve_cache,
+)
+from repro.engine.core import execute_baseline_job
+from repro.engine.transports.base import RemoteJobError
+from repro.exceptions import EngineError
+from repro.utils.io import _NumpyJSONEncoder
+
+BASE_CONFIG = PipelineConfig(seed=5)
+
+
+def _key(seed: str) -> str:
+    return hashlib.sha256(seed.encode("utf-8")).hexdigest()
+
+
+def _payload(key: str, pad: str = "x", size: int = 256) -> dict:
+    return {"spec_hash": key, "schema": "echo/v1", "blob": pad * size}
+
+
+def _baseline_spec(method: str = "AF2"):
+    from repro.engine import BaselineFoldSpec
+
+    return BaselineFoldSpec(pdb_id="3eax", sequence="RYRDV", method=method, config=BASE_CONFIG)
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, cls=_NumpyJSONEncoder)
+
+
+# -- spec parsing and config resolution ----------------------------------------------
+
+
+def test_parse_tier_spec_local_variants(tmp_path):
+    plain = parse_tier_spec(tmp_path / "a")
+    assert isinstance(plain, LocalDirTier)
+    assert plain.location == ("local", str((tmp_path / "a").resolve()))
+
+    prefixed = parse_tier_spec(f"local:{tmp_path / 'b'}")
+    assert isinstance(prefixed, LocalDirTier)
+    assert prefixed.root == (tmp_path / "b")
+
+    # With a config, the local tier inherits the session's eviction policy;
+    # without one it opens unbounded (worker-side write-through).
+    config = PipelineConfig(cache_max_bytes=4096, cache_eviction="fifo")
+    bounded = parse_tier_spec(str(tmp_path / "c"), config=config)
+    assert bounded.max_bytes == 4096 and bounded.eviction == "fifo"
+    assert plain.max_bytes is None
+
+
+def test_parse_tier_spec_remote_variants():
+    tier = parse_tier_spec("remote:10.0.0.9:7377")
+    assert isinstance(tier, RemoteTier)
+    assert tier.location == ("remote", "10.0.0.9", 7377)
+    # URL-ish double-slash form, and a bare port defaulting the host.
+    assert parse_tier_spec("remote://10.0.0.9:7377").location == ("remote", "10.0.0.9", 7377)
+    assert parse_tier_spec("remote::7377").location == ("remote", "127.0.0.1", 7377)
+
+
+@pytest.mark.parametrize("spec", ["", "   ", "local:", "remote:", "remote:hostonly", "remote:host:NaN"])
+def test_parse_tier_spec_rejects_bad_specs(spec):
+    with pytest.raises(EngineError):
+        parse_tier_spec(spec)
+
+
+def test_resolve_cache_maps_config_knobs_onto_tiers(tmp_path):
+    # Cacheless stays cacheless.
+    assert resolve_cache(PipelineConfig()) is None
+
+    # A single cache_dir resolves to one bare local tier — not a 1-stack.
+    single = resolve_cache(PipelineConfig(cache_dir=str(tmp_path / "one")))
+    assert isinstance(single, LocalDirTier)
+
+    # cache_tiers wins over cache_dir; cache_remote is appended outermost.
+    stacked = resolve_cache(PipelineConfig(
+        cache_dir=str(tmp_path / "ignored"),
+        cache_tiers=(str(tmp_path / "fast"), str(tmp_path / "slow")),
+        cache_remote="10.0.0.9:7377",
+    ))
+    assert isinstance(stacked, TieredCache)
+    assert [type(t).__name__ for t in stacked.tiers] == [
+        "LocalDirTier", "LocalDirTier", "RemoteTier",
+    ]
+
+    # An explicit instance passes through untouched.
+    mine = LocalDirTier(tmp_path / "mine")
+    assert resolve_cache(PipelineConfig(cache_dir="/elsewhere"), cache=mine) is mine
+
+    # A sequence of specs/instances becomes a stack in order.
+    stack = resolve_cache(PipelineConfig(), cache=[str(tmp_path / "d"), mine])
+    assert isinstance(stack, TieredCache) and stack.tiers[1] is mine
+
+
+# -- the tiered stack ----------------------------------------------------------------
+
+
+def test_tiered_reads_are_local_first_and_promote_later_hits(tmp_path):
+    fast = LocalDirTier(tmp_path / "fast")
+    slow = LocalDirTier(tmp_path / "slow")
+    stack = TieredCache([fast, slow])
+    key = _key("promote")
+    slow.put(key, _payload(key))
+
+    assert stack.get(key) == _payload(key)
+    # The hit was promoted: the next lookup is served by the fast tier.
+    assert fast.peek(key) == _payload(key)
+    assert stack.stats.hits == 1 and stack.stats.misses == 0
+    assert stack.get(_key("absent")) is None
+    assert stack.stats.misses == 1
+
+
+def test_tiered_write_through_and_covers_semantics(tmp_path):
+    fast = LocalDirTier(tmp_path / "fast")
+    slow = LocalDirTier(tmp_path / "slow")
+    stack = TieredCache([fast, slow])
+    key = _key("through")
+    assert stack.put(key, _payload(key))
+    assert fast.peek(key) == _payload(key) and slow.peek(key) == _payload(key)
+
+    # covers is the *all* quantifier: one member holding the payload is not
+    # enough to skip a write-through put of the whole stack.
+    assert not stack.covers(fast.location)
+    assert not stack.covers(("remote", "h", 1))
+
+    # A stored_in token skips exactly the member it names and fills the rest.
+    other = _key("stored-elsewhere")
+    assert stack.put(other, _payload(other), stored_in=slow.location)
+    assert fast.peek(other) == _payload(other)
+    assert slow.peek(other) is None  # skipped: the token says it already holds it
+    assert len(slow.entries()) == 1
+
+
+def test_tiered_put_reports_a_member_that_dropped_the_payload(tmp_path):
+    """All-held is the contract: a dead member makes ``put`` return False so
+    the caller (the stub-mode worker) can fall back to an embedded payload."""
+    stack = TieredCache([LocalDirTier(tmp_path / "ok"), RemoteTier("127.0.0.1", 1, timeout=0.5)])
+    key = _key("degraded")
+    assert stack.put(key, _payload(key)) is False
+    assert stack.tiers[0].peek(key) == _payload(key)  # the live member still filled
+
+
+def test_two_stacks_racing_put_and_prune_on_one_shared_tier(tmp_path):
+    """Two TieredCache instances over the same directory: a key one stack
+    rewrites while the other is mid-prune survives (the prune re-validates
+    stat identity before unlinking), and nothing is ever torn."""
+    shared = tmp_path / "shared"
+    stack_a = TieredCache([LocalDirTier(shared)])
+    stack_b = TieredCache([LocalDirTier(shared)])
+    keys = [_key(f"race-{i}") for i in range(4)]
+    for key in keys:
+        assert stack_a.put(key, _payload(key))
+    assert stack_b.get(keys[0]) == _payload(keys[0])  # shared through the directory
+
+    rewritten = keys[1]
+    fresh = _payload(rewritten, pad="y", size=512)  # different size: provably newer
+
+    def interleave(entry):
+        if entry.key == rewritten:
+            stack_b.put(rewritten, fresh)
+
+    stack_a.tiers[0]._before_evict = interleave
+    evicted = stack_a.prune(0)
+    assert rewritten not in evicted  # the concurrent rewrite was not destroyed
+    assert set(evicted) == set(keys) - {rewritten}
+    assert stack_b.get(rewritten) == fresh
+    valid, corrupt = stack_b.verify()
+    assert corrupt == [] and valid == [rewritten]
+
+
+def test_concurrent_put_get_prune_threads_never_corrupt_the_shared_tier(tmp_path):
+    shared = tmp_path / "shared"
+    stack_a = TieredCache([LocalDirTier(shared)])
+    stack_b = TieredCache([LocalDirTier(shared)])
+    keys = [_key(f"thread-{i}") for i in range(16)]
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer():
+        i = 0
+        try:
+            while not stop.is_set():
+                key = keys[i % len(keys)]
+                stack_a.put(key, _payload(key))
+                got = stack_a.get(key)  # evicted-mid-read is a miss, never a crash
+                assert got is None or got == _payload(key)
+                i += 1
+        except BaseException as exc:  # pragma: no cover - the assertion channel
+            errors.append(exc)
+
+    def pruner():
+        try:
+            while not stop.is_set():
+                stack_b.prune(4 * 300)  # keep ~4 entries' worth, evict the rest
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer), threading.Thread(target=pruner)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.4)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert errors == []
+    _, corrupt = TieredCache([LocalDirTier(shared)]).verify()
+    assert corrupt == []
+
+
+# -- the remote tier against a live server -------------------------------------------
+
+
+def test_remote_tier_roundtrip_against_a_live_server(tmp_path):
+    from repro.serve import ReproServer
+
+    key = _key("remote-roundtrip")
+    with ReproServer(workers=0, cache=tmp_path / "serve-cache") as server:
+        tier = RemoteTier("127.0.0.1", server.port, timeout=5.0)
+        try:
+            assert tier.get(key) is None  # cold miss
+            assert tier.put(key, _payload(key)) is True
+            assert tier.get(key) == _payload(key)
+            assert tier.peek(key) == _payload(key)  # stat-neutral
+            assert key in tier
+            assert tier.stats.hits == 1 and tier.stats.misses == 1 and tier.stats.writes == 1
+
+            stats = tier.remote_stats()
+            assert stats["entries"] == 1 and stats["total_bytes"] > 0
+            # Maintenance is the server's business, not the client's.
+            assert tier.entries() == [] and tier.prune(0) == [] and tier.verify() == ([], [])
+        finally:
+            tier.close()
+
+
+def test_remote_tier_survives_a_server_restart_mid_lookup(tmp_path):
+    """Kill the server between requests: lookups degrade to misses (never an
+    exception), puts report False, and the same tier object transparently
+    reconnects to a replacement server on the same port."""
+    from repro.serve import ReproServer
+
+    cache_dir = tmp_path / "serve-cache"
+    key = _key("restart")
+    server = ReproServer(workers=0, cache=cache_dir).start()
+    port = server.port
+    tier = RemoteTier("127.0.0.1", port, timeout=5.0)
+    try:
+        assert tier.put(key, _payload(key)) is True
+        server.shutdown()
+
+        assert tier.get(key) is None  # down: a miss, not a crash
+        assert tier.put(key, _payload(key)) is False
+
+        restarted = ReproServer(host="127.0.0.1", port=port, workers=0, cache=cache_dir).start()
+        try:
+            assert tier.get(key) == _payload(key)  # reconnected, served from disk
+        finally:
+            restarted.shutdown()
+    finally:
+        tier.close()
+
+
+# -- payload-free stub completions through the spool ---------------------------------
+
+
+def test_worker_stub_mode_writes_the_tier_and_publishes_a_payload_free_stub(tmp_path):
+    spec = _baseline_spec()
+    tier_dir = tmp_path / "tier"
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", spec, cache_spec=str(tier_dir))
+    worker = FileQueueWorker(spool, worker_id="w1", lease_timeout=5.0)
+    assert worker.run_once() == "t1"
+
+    record = spool.read_result("t1")
+    assert record["status"] == "completed"
+    assert "payload" not in record  # the stub carries identity, not bytes
+    assert record["stored"] == str(tier_dir)
+    assert record["content_hash"] == spec.content_hash()
+    stored = LocalDirTier(tier_dir).get(spec.content_hash())
+    assert _canonical(stored) == _canonical(execute_baseline_job(spec).to_payload())
+
+    # Harvest: the transport resolves the payload out of the tier and tags
+    # the outcome with where it already durably lives.
+    transport = FileQueueTransport(tmp_path / "spool", workers=0, cache_spec=str(tier_dir))
+    index, outcome, error = transport._completion(0, "t1", record)
+    assert error is None and index == 0
+    assert outcome.from_cache is False
+    assert outcome.stored_in == ("local", str(tier_dir.resolve()))
+    assert _canonical(outcome.to_payload()) == _canonical(stored)
+
+
+def test_stub_whose_payload_vanished_fails_the_job_for_resume(tmp_path):
+    spec = _baseline_spec("AF3")
+    tier_dir = tmp_path / "tier"
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", spec, cache_spec=str(tier_dir))
+    FileQueueWorker(spool, worker_id="w1", lease_timeout=5.0).run_once()
+    record = spool.read_result("t1")
+
+    LocalDirTier(tier_dir).prune(0)  # the entry is evicted before the harvest
+    transport = FileQueueTransport(tmp_path / "spool", workers=0, cache_spec=str(tier_dir))
+    index, outcome, error = transport._completion(0, "t1", record)
+    assert outcome is None
+    assert isinstance(error, RemoteJobError)
+    assert error.error_type == "SpoolError"
+    assert "resume the session" in error.error_message
+
+
+def test_worker_falls_back_to_an_embedded_payload_when_the_tier_is_unreachable(tmp_path):
+    """Stub mode degrades to payload mode, never to a lost result: a worker
+    that cannot reach the advertised tier embeds the payload in the spool."""
+    spec = _baseline_spec()
+    spool = FileQueueSpool(tmp_path / "spool")
+    spool.enqueue("t1", spec, cache_spec="remote:127.0.0.1:1")  # nothing listens
+    worker = FileQueueWorker(spool, worker_id="w1", lease_timeout=5.0)
+    assert worker.run_once() == "t1"
+
+    record = spool.read_result("t1")
+    assert record["status"] == "completed"
+    assert "stored" not in record
+    assert record["payload"]["spec_hash"] == spec.content_hash()
+
+
+def test_filequeue_factory_derives_the_stub_tier_or_refuses(tmp_path):
+    from repro.engine import make_transport
+
+    base = PipelineConfig(
+        transport="filequeue", spool_dir=str(tmp_path / "spool"), transport_workers=0,
+    )
+    # Payload mode (the default) never stamps envelopes with a tier.
+    assert make_transport("filequeue", base, processes=0).cache_spec is None
+
+    # Stub mode resolves the most widely reachable tier: cache_remote wins,
+    # then the last cache_tiers entry, then cache_dir.
+    with_dir = base.with_updates(spool_payloads=False, cache_dir=str(tmp_path / "c"))
+    assert make_transport("filequeue", with_dir, processes=0).cache_spec == str(tmp_path / "c")
+    with_tiers = with_dir.with_updates(cache_tiers=("a", "b"))
+    assert make_transport("filequeue", with_tiers, processes=0).cache_spec == "b"
+    with_remote = with_tiers.with_updates(cache_remote="10.0.0.9:7377")
+    assert make_transport("filequeue", with_remote, processes=0).cache_spec == "remote:10.0.0.9:7377"
+
+    # No reachable tier at all is a configuration error, not silent payloads.
+    with pytest.raises(EngineError, match="spool_payloads=False needs a cache tier"):
+        make_transport("filequeue", base.with_updates(spool_payloads=False), processes=0)
+
+
+def test_result_cache_alias_is_the_local_tier():
+    """Back-compat: the historical name and the tier are the same class."""
+    assert ResultCache is LocalDirTier

@@ -84,6 +84,66 @@ def test_verify_then_corrupt_then_delete_roundtrip(populated_cache_dir, capsys):
     assert main(["verify", str(populated_cache_dir)]) == 0
 
 
+def _misplaced_cache(tmp_path):
+    """A cache with one well-placed entry and one hand-moved into a foreign shard."""
+    cache_dir = tmp_path / "sharded"
+    cache = ResultCache(cache_dir)
+    keys = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(2)]
+    for key in keys:
+        cache.put(key, {"spec_hash": key, "schema": "fold/v1", "pad": "x" * 64})
+    victim = cache.entries()[0]
+    foreign = cache_dir / ("zz" if victim.key[:2] != "zz" else "qq")
+    foreign.mkdir()
+    victim.path.rename(foreign / victim.path.name)
+    return cache_dir, victim.key
+
+
+def test_ls_shows_the_shard_and_warns_on_misplaced_entries(tmp_path, capsys):
+    cache_dir, misplaced_key = _misplaced_cache(tmp_path)
+    assert main(["ls", str(cache_dir)]) == 0
+    captured = capsys.readouterr()
+    assert "shard" in captured.out  # the column header
+    assert "2 entries shown" in captured.out
+    assert misplaced_key[:2] in captured.err  # names the shard it should be in
+    assert "lookups will miss it" in captured.err
+
+
+def test_stats_skips_misplaced_entries_with_a_warning(tmp_path, capsys):
+    cache_dir, _ = _misplaced_cache(tmp_path)
+    assert main(["stats", str(cache_dir), "--json"]) == 0
+    captured = capsys.readouterr()
+    stats = json.loads(captured.out)
+    assert stats["entries"] == 1  # the misplaced file serves no lookups
+    assert "skipping" in captured.err and "move or delete it" in captured.err
+
+
+def test_stats_reaches_a_remote_tier_and_local_subcommands_refuse_one(tmp_path, capsys):
+    from repro.serve import ReproServer
+
+    key = hashlib.sha256(b"remote-cli").hexdigest()
+    ResultCache(tmp_path / "serve-cache").put(
+        key, {"spec_hash": key, "schema": "fold/v1", "pad": "x" * 64}
+    )
+    with ReproServer(workers=0, cache=tmp_path / "serve-cache") as server:
+        spec = f"remote:127.0.0.1:{server.port}"
+        assert main(["stats", spec, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["tier"] == spec
+        assert stats["entries"] == 1 and stats["total_bytes"] > 0
+
+        # Maintenance needs local files: remote specs are a usage error.
+        with pytest.raises(SystemExit) as exc:
+            main(["ls", spec])
+        assert exc.value.code == 2
+        assert "only 'stats' works" in capsys.readouterr().err
+
+    # An unreachable server is exit 2, not a stack trace.
+    with pytest.raises(SystemExit) as exc:
+        main(["stats", "remote:127.0.0.1:1"])
+    assert exc.value.code == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
 def test_prune_rejects_negative_max_bytes(tmp_path, capsys):
     cache_dir = tmp_path / "cache"
     ResultCache(cache_dir)  # create the directory

@@ -309,6 +309,91 @@ def test_fast_path_toggles_are_bit_identical_to_serial(reference_run, updates):
     assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
 
 
+def test_cache_topology_flat_vs_tiered_is_bit_identical(reference_run, tmp_path):
+    """The cache-topology clause, local half: a serial run over a flat
+    ``ResultCache`` and a pool run over a ``TieredCache`` wrapping the same
+    kind of local tier are bit-identical — cold and warm — and the warm
+    tiered run executes zero jobs."""
+    from repro.engine import LocalDirTier, ResultCache, TieredCache
+
+    flat_engine = Engine(config=CONFIG, cache=ResultCache(tmp_path / "flat"), processes=0)
+    assert _canonical(flat_engine.run(_mixed_jobs(flat_engine))) == reference_run
+    assert flat_engine.stats()["executed_jobs"] == 5
+
+    tiered = TieredCache([LocalDirTier(tmp_path / "tiered")])
+    tiered_engine = Engine(config=CONFIG.with_updates(transport="pool"), cache=tiered, processes=2)
+    assert _canonical(tiered_engine.run(_mixed_jobs(tiered_engine))) == reference_run
+    assert tiered_engine.stats()["executed_jobs"] == 5
+
+    warm = Engine(
+        config=CONFIG.with_updates(transport="pool"),
+        cache=TieredCache([LocalDirTier(tmp_path / "tiered")]),
+        processes=2,
+    )
+    assert _canonical(warm.run(_mixed_jobs(warm))) == reference_run
+    assert warm.stats()["executed_jobs"] == 0
+    assert warm.stats()["cache"]["misses"] == 0
+
+
+def test_cache_topology_filequeue_stub_completions_are_bit_identical(
+    reference_run, tmp_path
+):
+    """The cache-topology clause, distributed half: a 2-daemon fleet in
+    payload-free stub mode (workers write straight into a shared tier, the
+    spool carries only stubs) is bit-identical to serial, no result payload
+    ever touches the spool, and a warm re-run executes zero jobs."""
+    config = _filequeue_config(
+        tmp_path, cache_dir=str(tmp_path / "shared-tier"), spool_payloads=False
+    )
+    engine = Engine(config=config)
+    assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+    assert engine.stats()["executed_jobs"] == 5
+
+    result_files = sorted((tmp_path / "spool" / "results").glob("*.json"))
+    assert len(result_files) == 5
+    for path in result_files:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["status"] == "completed"
+        assert "payload" not in record  # the stub is payload-free
+        assert record["stored"] == str(tmp_path / "shared-tier")
+        assert record["content_hash"] == record["spec_hash"]
+
+    warm = Engine(config=config)
+    assert _canonical(warm.run(_mixed_jobs(warm))) == reference_run
+    assert warm.stats()["executed_jobs"] == 0
+    assert warm.stats()["cache"]["misses"] == 0
+
+
+def test_cache_topology_remote_tier_is_bit_identical(reference_run, tmp_path):
+    """The cache-topology clause, network half: a run whose cache stack ends
+    in a ``RemoteTier`` against the serving daemon is bit-identical, and a
+    second machine holding *only* the remote tier warm-runs with zero
+    executions — served entirely over cache frames."""
+    from repro.serve import ReproServer
+
+    with ReproServer(workers=2, cache=tmp_path / "serve-cache") as server:
+        config = _network_config(
+            server.port,
+            cache_dir=str(tmp_path / "client-cache"),
+            cache_remote=f"127.0.0.1:{server.port}",
+        )
+        engine = Engine(config=config)
+        assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+        assert engine.stats()["executed_jobs"] == 5
+        # The server cached every result as it executed; the transport marked
+        # them stored, so the session never pushed payloads back over the wire.
+        remote_tier = engine.cache.tiers[-1]
+        assert remote_tier.stats.writes == 0
+
+        # "Another machine": no local cache at all, just the remote tier.
+        warm = Engine(config=_network_config(
+            server.port, cache_remote=f"127.0.0.1:{server.port}"
+        ))
+        assert _canonical(warm.run(_mixed_jobs(warm))) == reference_run
+        assert warm.stats()["executed_jobs"] == 0
+        assert warm.stats()["cache"]["misses"] == 0
+
+
 def test_session_knobs_never_enter_job_hashes():
     """session_dir / on_error / transport / performance knobs are orchestration
     detail: switching transports (or retuning the fleet, or toggling the fast
@@ -326,6 +411,9 @@ def test_session_knobs_never_enter_job_hashes():
             serve_host="10.1.2.3",
             serve_port=9999,
             serve_max_inflight=2,
+            cache_tiers=("/tiers/elsewhere",),
+            cache_remote="10.1.2.3:7401",
+            spool_payloads=False,
             docking_batch=False,
             quantum_compiled_plans=False,
             expectation_cache_entries=32,

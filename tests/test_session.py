@@ -540,6 +540,76 @@ def test_cli_status_reports_failures_with_exit_code(session_engine, capsys):
     assert status["failures"][0]["error_type"] == "ValueError"
 
 
+# -- journal compaction --------------------------------------------------------------
+
+
+def test_journal_compact_keeps_final_state_and_shrinks(tmp_path):
+    """A journal accreted over many resumes compacts to its final state: one
+    record per unique job (completed beats failed), the resume count folded
+    into a single marker, and the reopened state bit-identical."""
+    root = tmp_path / "sessions"
+    root.mkdir()
+    jobs = [FlakySpec("a"), FlakySpec("bad"), FlakySpec("c"), FlakySpec("d")]
+    h = {spec.name: spec.content_hash() for spec in jobs}
+    journal = SessionJournal.create(root, "long", jobs)
+    # Pass 1: two completions, two failures.
+    journal.record_job(h["a"], "completed", "flaky")
+    journal.record_job(h["bad"], "failed", "flaky", error_type="ValueError", error_message="kapow")
+    journal.record_job(h["c"], "completed", "flaky")
+    journal.record_job(h["d"], "failed", "flaky", error_type="ValueError", error_message="kapow")
+    # Pass 2: "bad" still failing; pass 3: it finally completes.
+    journal.mark_resumed()
+    journal.record_job(h["bad"], "failed", "flaky", error_type="ValueError", error_message="kapow")
+    journal.mark_resumed()
+    journal.record_job(h["bad"], "completed", "flaky")
+
+    before = SessionJournal.open(root, "long")
+    result = journal.compact()
+    assert result["records_after"] < result["records_before"]
+    assert result["bytes_after"] < result["bytes_before"]
+    assert result["records_after"] == 2 + len(jobs)  # header + compact marker + jobs
+
+    after = SessionJournal.open(root, "long")
+    assert set(after.completed) == set(before.completed) == {h["a"], h["bad"], h["c"]}
+    assert set(after.failed) == set(before.failed) == {h["d"]}
+    assert after.failed[h["d"]]["error_type"] == "ValueError"
+    assert after.resumes == before.resumes == 2
+    assert after.spec_hashes == before.spec_hashes
+    assert after.created_at == before.created_at
+    assert after.summary() == before.summary()
+
+    # Compaction is idempotent, and an unopened journal refuses to compact.
+    again = after.compact()
+    assert again["records_after"] == again["records_before"]
+    with pytest.raises(EngineError, match="open\\(\\)ed or create\\(\\)d"):
+        SessionJournal(root, "long").compact()
+
+
+def test_cli_compact_roundtrip(tmp_path, capsys):
+    root = tmp_path / "sessions"
+    root.mkdir()
+    journal = SessionJournal.create(root, "sweep", [FlakySpec("a")])
+    key = FlakySpec("a").content_hash()
+    for _ in range(3):
+        journal.record_job(key, "completed", "flaky")
+
+    rc = session_cli_main(["compact", str(root), "sweep", "--json"])
+    out = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert out["session_id"] == "sweep"
+    assert out["records_before"] == 4  # header + three passes over one job
+    assert out["records_after"] == 2  # header + the job's final record
+    assert set(SessionJournal.open(root, "sweep").completed) == {key}
+
+    rc = session_cli_main(["compact", str(root), "sweep"])
+    assert rc == 0
+    assert "compacted 2 -> 2 records" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit) as exc:
+        session_cli_main(["compact", str(root), "ghost"])
+    assert exc.value.code == 2
+
+
 # -- the streaming BatchProcessor ----------------------------------------------------
 
 
