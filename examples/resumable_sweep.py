@@ -13,7 +13,10 @@ re-executed.  The ``distributed-sweep`` job runs the same sweep on the
 (``--transport filequeue --spool-dir ...``), SIGKILLs one daemon mid-job, and
 diffs the ``--results-json`` canonical payloads against a serial run — then
 repeats the sweep with ``--no-spool-payloads``, asserting the spool carried
-only payload-free completion stubs.  The ``network-serve`` job does the same
+only payload-free completion stubs — then once more on a three-worker
+heterogeneous fleet (one ``--tags baseline_fold`` worker, one ``--throttle``d
+straggler rescued by ``--speculate 3``, baselines at ``--baseline-priority
+5``), asserting the same bit-identity with zero duplicate completions.  The ``network-serve`` job does the same
 against a ``repro-serve`` daemon (``--transport network --serve-port ...``),
 killing and restarting the *server* mid-batch, and finishes with a warm
 client whose cache stack ends in the server's own tier (``--cache-remote``):
@@ -80,6 +83,22 @@ def main(argv: list[str] | None = None) -> int:
         help="filequeue stale-lease timeout in seconds",
     )
     parser.add_argument(
+        "--speculate", type=float, default=None, metavar="K",
+        help="filequeue straggler re-dispatch: clone any task claimed for "
+             "over K x the fleet's rolling median job duration (first "
+             "published result wins)",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="filequeue elastic ceiling: grow the spawned fleet with queue "
+             "depth up to this many daemons, retiring idle extras",
+    )
+    parser.add_argument(
+        "--baseline-priority", type=int, default=None,
+        help="priority class stamped on the baseline-fold jobs (higher "
+             "drains first; hash-neutral, the fold jobs keep priority 0)",
+    )
+    parser.add_argument(
         "--cache-remote", default=None, metavar="HOST:PORT",
         help="append a repro-serve cache tier behind --cache-dir "
              "(reads fall through to it; writes go through both)",
@@ -109,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
             transport_workers=args.workers,
             transport_lease_timeout=args.lease_timeout,
         )
+    if args.speculate is not None:
+        config = config.with_updates(transport_speculate=args.speculate)
+    if args.max_workers is not None:
+        config = config.with_updates(transport_max_workers=args.max_workers)
     if args.serve_host:
         config = config.with_updates(serve_host=args.serve_host)
     if args.serve_port is not None:
@@ -125,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
         for pdb_id, sequence in FRAGMENTS
         for method in BASELINE_METHODS
     ]
+    if args.baseline_priority is not None:
+        from repro.engine import set_priority
+
+        for job in jobs[len(FRAGMENTS):]:
+            set_priority(job, args.baseline_priority)
 
     def progress(event):
         print(

@@ -14,6 +14,12 @@ Typical fleet::
     repro-worker /shared/spool --lease-timeout 60 &
     repro-worker /shared/spool --lease-timeout 60 &
 
+Workers claim in scheduler order (priority class first, then oldest
+envelope).  ``--tags`` declares the capabilities a worker has — e.g.
+``--tags fold,dock,mps`` — and a tagged worker *skips* tasks whose declared
+requirements it cannot cover instead of claiming and poisoning them; an
+untagged worker claims anything.
+
 Workers exit cleanly when ``<spool>/stop`` exists (``touch /shared/spool/stop``),
 after ``--max-jobs`` tasks, or after ``--idle-exit`` seconds without work.
 ``--preload`` imports modules before serving, so daemons can register
@@ -29,6 +35,7 @@ import argparse
 import importlib
 import sys
 
+from repro.engine.scheduler import parse_tags
 from repro.engine.transports.filequeue import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_WORKER_POLL_INTERVAL,
@@ -65,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this many seconds without work (default: never)",
     )
     parser.add_argument(
+        "--tags", default=None, metavar="TAG[,TAG...]",
+        help="capabilities this worker declares (e.g. fold,dock,mps); tasks "
+             "requiring anything else are skipped, never claimed "
+             "(default: untagged — claim anything)",
+    )
+    parser.add_argument(
+        "--throttle", type=float, default=0.0, metavar="SECONDS",
+        help="sleep this long before executing each claimed task "
+             "(fault-injection/testing aid; default 0)",
+    )
+    parser.add_argument(
         "--preload", action="append", default=[], metavar="MODULE",
         help="import MODULE before serving (registers custom job kinds/backends; repeatable)",
     )
@@ -87,6 +105,8 @@ def main(argv: list[str] | None = None) -> int:
             lease_timeout=args.lease_timeout,
             heartbeat_interval=args.heartbeat_interval,
             poll_interval=args.poll_interval,
+            tags=parse_tags(args.tags),
+            throttle=args.throttle,
         )
     except Exception as exc:
         print(f"repro-worker: {exc}", file=sys.stderr)

@@ -123,6 +123,23 @@ class PipelineConfig:
     transport_poll_interval:
         Seconds between the submitting transport's spool scans (also the
         ``network`` transport's socket-poll slice).
+    transport_priority:
+        Default scheduling priority the ``filequeue`` transport stamps into
+        every task envelope it enqueues (higher claims first; per-job
+        ``Engine.submit(..., priority=...)`` overrides it).  Pure
+        orchestration — it decides claim order, never results — and never
+        enters any job hash.
+    transport_speculate:
+        Straggler multiplier for speculative re-dispatch: a task claimed for
+        longer than this many times the fleet's rolling median job duration
+        is cloned into a shadow task for another worker to race (first
+        published result wins; the loser is discarded).  ``None`` (the
+        default) disables speculation.  Never enters any job hash.
+    transport_max_workers:
+        Elastic ceiling on the ``filequeue`` fleet: the transport grows the
+        spawned-worker count toward the queue depth up to this cap and
+        retires surplus workers as the queue drains.  ``None`` (the default)
+        pins the fleet at ``transport_workers``.  Never enters any job hash.
     serve_host / serve_port:
         Address of the ``repro-serve`` daemon the ``network`` transport
         submits to (start one with ``repro-serve``).
@@ -178,6 +195,9 @@ class PipelineConfig:
     transport_workers: int | None = None
     transport_lease_timeout: float = 30.0
     transport_poll_interval: float = 0.05
+    transport_priority: int = 0
+    transport_speculate: float | None = None
+    transport_max_workers: int | None = None
     serve_host: str = "127.0.0.1"
     serve_port: int = 7377
     serve_max_inflight: int = 32

@@ -68,6 +68,17 @@ from repro.engine.registry import (
     register_backend,
     register_executor,
 )
+from repro.engine.scheduler import (
+    DurationTracker,
+    PendingTask,
+    capabilities_match,
+    desired_fleet_size,
+    job_priority,
+    job_requirements,
+    parse_tags,
+    require_tags,
+    set_priority,
+)
 from repro.engine.session import (
     SESSION_SCHEMA_VERSION,
     JobFailure,
@@ -110,6 +121,7 @@ __all__ = [
     "CacheTier",
     "DockJobResult",
     "DockSpec",
+    "DurationTracker",
     "Engine",
     "FileQueueSpool",
     "FileQueueTransport",
@@ -119,6 +131,7 @@ __all__ = [
     "JobSpec",
     "LocalDirTier",
     "NetworkTransport",
+    "PendingTask",
     "PoolTransport",
     "RemoteJobError",
     "RemoteTier",
@@ -131,20 +144,27 @@ __all__ = [
     "Transport",
     "TransportCapabilities",
     "backend_names",
+    "capabilities_match",
     "config_fingerprint",
+    "desired_fleet_size",
     "execute_baseline_job",
     "execute_dock_job",
     "execute_fold_job",
     "execute_job",
     "executor_for",
     "executor_kinds",
+    "job_priority",
+    "job_requirements",
     "make_backend",
     "make_transport",
+    "parse_tags",
     "parse_tier_spec",
     "register_backend",
     "register_executor",
+    "require_tags",
     "resolve_cache",
     "register_transport",
     "result_from_payload",
+    "set_priority",
     "transport_names",
 ]

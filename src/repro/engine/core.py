@@ -259,6 +259,7 @@ class Engine:
         processes: int | None = None,
         on_error: str | None = None,
         progress: Any = None,
+        priority: int | None = None,
     ) -> Session:
         """Open a streaming :class:`~repro.engine.session.Session` over ``jobs``.
 
@@ -288,6 +289,12 @@ class Engine:
             :class:`~repro.engine.session.JobFailure` outcomes) or
             ``"raise"`` (first failure aborts the stream).  ``None`` uses
             ``config.on_error``.
+        priority:
+            Scheduling priority stamped onto every job in this batch (higher
+            claims first on the ``filequeue`` transport's fleet; other
+            transports ignore it).  Hash-neutral orchestration metadata: it
+            never splits the cache.  ``None`` leaves per-spec stamps and the
+            ``config.transport_priority`` default in force.
         """
         if on_error is None:
             on_error = self.config.on_error
@@ -324,6 +331,12 @@ class Engine:
                 "submit() needs jobs unless resuming a journalled session "
                 "(set config.session_dir to enable journals)"
             )
+        if priority is not None:
+            from repro.engine.scheduler import set_priority
+
+            jobs = list(jobs)
+            for job in jobs:
+                set_priority(job, priority)
         return Session(
             self,
             jobs,

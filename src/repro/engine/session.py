@@ -445,6 +445,9 @@ class Session:
         #: The executor transport of the running stream (set when execution
         #: starts; exposed so tests and tools can inspect/steer the fleet).
         self.transport: Any = None
+        #: The transport's own counters (reclaimed leases, speculated shadow
+        #: tasks, elastic spawns, ...), captured when the stream drains.
+        self.transport_stats: dict[str, Any] | None = None
         self.cached = 0
         self.executed = 0
         self.failed = 0
@@ -573,6 +576,12 @@ class Session:
                         error_message=error_message,
                     )
                     yield from self._deliver(i, "failed", duplicates_of)
+            stats = getattr(self.transport, "stats", None)
+            if callable(stats):
+                try:
+                    self.transport_stats = stats()
+                except Exception:  # diagnostics only: never fail a finished batch
+                    self.transport_stats = None
 
     def _lookup(self, job: Any, key: str, journalled_done: dict[str, Any]) -> Any | None:
         """Resolve a job without executing it: prior generation, then cache."""
@@ -710,7 +719,7 @@ class Session:
 
     def summary(self) -> dict[str, Any]:
         """This session's counters (journal-independent, reflects this pass only)."""
-        return {
+        summary = {
             "session_id": self.session_id,
             "total": len(self.jobs),
             "done": self.done,
@@ -720,3 +729,6 @@ class Session:
             "duplicates": self.duplicates,
             "failures": [f.as_dict() for f in self.failures()],
         }
+        if self.transport_stats is not None:
+            summary["transport"] = self.transport_stats
+        return summary

@@ -10,9 +10,16 @@ broker, no sockets and no new dependencies:
 
 ``spool/``
     ``tasks/<task_id>.task``
-        One pending job: a pickled envelope holding the spec (trusted local
+        One pending job: a one-line JSON scheduling header (priority,
+        capability requirements — readable without unpickling the spec)
+        followed by a pickled envelope holding the spec (trusted local
         state, like the session spec pickle).  Written atomically
         (tmp + ``os.replace``), so a worker never sees a torn task.
+        Headerless files (pre-scheduler spools) still load, with default
+        scheduling metadata.  Workers drain the queue in the fleet's claim
+        order (:mod:`repro.engine.scheduler`): priority descending, then
+        oldest envelope mtime first — *not* name order, because task names
+        start with a random per-batch prefix.
     ``claims/<task_id>.claim``
         A **lease**.  A worker claims a task by ``os.rename``-ing it from
         ``tasks/`` into ``claims/`` — rename is atomic, so exactly one
@@ -67,6 +74,16 @@ leaves only a stale claim — replayed once; a crash after it leaves a result
 and a stale claim — the claim is dropped, the result stands.  Determinism
 makes even the pathological double-execution harmless: both executions would
 produce identical bytes.
+
+Speculative re-dispatch extends the argument rather than weakening it: when
+a claim outlives ``k ×`` the fleet's rolling median job duration
+(``PipelineConfig.transport_speculate``), the submitting transport *clones*
+the claim's envelope back into ``tasks/`` as a shadow copy of the same task
+id — the straggler keeps executing.  Result publication is create-exclusive
+(:meth:`FileQueueSpool.publish_result`): the first finisher wins the result
+file, the loser's publish is refused and logged as ``superseded`` (never
+``executed``-to-completion twice), and its release is already ownership-
+checked.  Both copies would produce identical bytes anyway.
 """
 
 from __future__ import annotations
@@ -82,6 +99,18 @@ import uuid
 from pathlib import Path
 from typing import Any, Callable, ClassVar, Sequence
 
+from repro.engine.scheduler import (
+    DEFAULT_PRIORITY,
+    MIN_SPECULATION_SAMPLES,
+    DurationTracker,
+    PendingTask,
+    capabilities_match,
+    desired_fleet_size,
+    job_priority,
+    job_requirements,
+    order_pending,
+    speculation_threshold,
+)
 from repro.engine.transports.base import (
     Completion,
     RemoteJobError,
@@ -117,6 +146,11 @@ _STALL_WARN_INTERVAL = 15.0
 #: against lease timeouts of tens of seconds.
 _CLOCK_OFFSET_IGNORE = 1.0
 
+#: Leads every task file: one JSON line of scheduling metadata (priority,
+#: capability requirements) a scanning worker can read without unpickling
+#: the spec.  Files without it (pre-scheduler spools) load with defaults.
+_TASK_HEADER_MAGIC = b"#qtask/v1 "
+
 
 class FileQueueSpool:
     """The on-disk queue: every operation is a single atomic rename/replace."""
@@ -137,6 +171,12 @@ class FileQueueSpool:
         #: one (file server ahead).  Measured once at startup via a probe
         #: touch and folded into every staleness comparison.
         self.clock_offset = self._measure_clock_offset()
+        #: task_id -> (priority, requires), memoised per spool instance: a
+        #: task's scheduling header never changes for a given id (reclaims
+        #: rename the same bytes back), so each worker reads it at most once
+        #: per task instead of once per poll.  Pruned to the ids currently
+        #: pending, so it cannot grow without bound.
+        self._meta_cache: dict[str, tuple[int, frozenset[str]]] = {}
 
     def _measure_clock_offset(self) -> float:
         """One probe write: how far the spool's mtime clock is from ours."""
@@ -201,21 +241,126 @@ class FileQueueSpool:
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
-    def enqueue(self, task_id: str, spec: Any, cache_spec: str | None = None) -> None:
+    def enqueue(
+        self,
+        task_id: str,
+        spec: Any,
+        cache_spec: str | None = None,
+        priority: int = DEFAULT_PRIORITY,
+        requires: Any = (),
+    ) -> None:
         """Publish one task (atomically: a worker never sees a torn pickle).
 
         ``cache_spec`` (stub-completion mode) names the cache tier the
         claiming worker should write the result payload into instead of
-        embedding it in the spool record.
+        embedding it in the spool record.  ``priority`` and ``requires``
+        are the scheduling header (see :mod:`repro.engine.scheduler`):
+        claim precedence and the capability tags a worker must declare to
+        claim this task.  Both are orchestration metadata — they never
+        enter the spec or its content hash.
         """
         envelope: dict[str, Any] = {"task_id": task_id, "spec": spec}
         if cache_spec:
             envelope["cache"] = str(cache_spec)
-        self._atomic_write(self.task_path(task_id), pickle.dumps(envelope))
+        header = json.dumps(
+            {"priority": int(priority), "requires": sorted(str(r) for r in requires)},
+            sort_keys=True,
+        ).encode("utf-8")
+        self._atomic_write(
+            self.task_path(task_id),
+            _TASK_HEADER_MAGIC + header + b"\n" + pickle.dumps(envelope),
+        )
+
+    @staticmethod
+    def load_envelope(data: bytes) -> Any:
+        """The pickled envelope of a task file, scheduling header stripped.
+
+        Accepts headerless files too (pre-scheduler spools, hand-written
+        test fixtures): the whole content is then the pickle.
+        """
+        if data.startswith(_TASK_HEADER_MAGIC):
+            data = data.split(b"\n", 1)[1] if b"\n" in data else b""
+        return pickle.loads(data)
+
+    def _task_meta(self, task_id: str) -> tuple[int, frozenset[str]]:
+        """``(priority, requires)`` from the task's scheduling header.
+
+        Defaults — claimable by anyone at priority 0 — when the header is
+        missing (old-format file) or unreadable: a genuinely corrupt task
+        still gets claimed and poisoned into a failed result as before,
+        instead of being silently unschedulable.
+        """
+        cached = self._meta_cache.get(task_id)
+        if cached is not None:
+            return cached
+        priority, requires = DEFAULT_PRIORITY, frozenset()
+        try:
+            with self.task_path(task_id).open("rb") as fh:
+                first = fh.readline(65536)
+            if first.startswith(_TASK_HEADER_MAGIC) and first.endswith(b"\n"):
+                header = json.loads(first[len(_TASK_HEADER_MAGIC):])
+                priority = int(header.get("priority", DEFAULT_PRIORITY))
+                requires = frozenset(str(r) for r in header.get("requires", ()))
+        except (OSError, ValueError, TypeError):
+            pass  # claimed under us, or an unreadable header: use defaults
+        meta = (priority, requires)
+        self._meta_cache[task_id] = meta
+        return meta
+
+    def pending(self) -> list[PendingTask]:
+        """Claimable tasks in the fleet's claim order.
+
+        Highest priority class first; within a class, oldest envelope mtime
+        first (age on the *spool's* clock via :meth:`lease_age` — the
+        measured clock offset is a constant shift, so it cannot reorder
+        tasks, it only expresses their ages in spool time); task id as the
+        deterministic tie-break.  One directory scan plus one memoised
+        header read per never-seen task.
+        """
+        entries: list[PendingTask] = []
+        now = time.time()
+        seen: set[str] = set()
+        try:
+            with os.scandir(self.tasks_dir) as it:
+                for entry in it:
+                    if not entry.name.endswith(".task"):
+                        continue
+                    task_id = entry.name[: -len(".task")]
+                    try:
+                        mtime = entry.stat().st_mtime
+                    except OSError:
+                        continue  # claimed under us mid-scan
+                    seen.add(task_id)
+                    priority, requires = self._task_meta(task_id)
+                    entries.append(PendingTask(
+                        task_id=task_id,
+                        priority=priority,
+                        requires=requires,
+                        age=self.lease_age(mtime, now=now),
+                    ))
+        except OSError:
+            return []
+        # Keep the memo bounded by what is actually queued; a task that
+        # reappears (stale-lease reclaim) re-reads its unchanged header.
+        self._meta_cache = {t: m for t, m in self._meta_cache.items() if t in seen}
+        return order_pending(entries)
+
+    def pending_count(self) -> int:
+        """How many tasks are runnable right now (one cheap directory scan)."""
+        try:
+            with os.scandir(self.tasks_dir) as it:
+                return sum(1 for entry in it if entry.name.endswith(".task"))
+        except OSError:
+            return 0
 
     def task_ids(self) -> list[str]:
-        """Pending task ids, oldest submission first (name-sorted)."""
-        return sorted(path.stem for path in self.tasks_dir.glob("*.task"))
+        """Pending task ids in claim order: priority desc, then oldest first.
+
+        Age-ordered, *not* name-sorted: task ids begin with a random batch
+        prefix, so name order across concurrent batches is arbitrary and a
+        later batch could starve an earlier one (the pre-scheduler bug).
+        """
+        return [task.task_id for task in self.pending()]
 
     def claim_ids(self) -> list[str]:
         return sorted(path.stem for path in self.claims_dir.glob("*.claim"))
@@ -340,6 +485,35 @@ class FileQueueSpool:
         data = json.dumps(record, sort_keys=True, cls=_NumpyJSONEncoder).encode("utf-8")
         self._atomic_write(self.result_path(task_id), data)
 
+    def publish_result(self, task_id: str, record: dict[str, Any]) -> bool:
+        """Publish one outcome *exclusively*: the first publisher wins.
+
+        The speculative-execution guarantee: when a straggler and its shadow
+        copy both finish, exactly one result file is created (atomic
+        ``os.link``, which fails with ``FileExistsError`` on a loser) and the
+        loser learns it lost — returns ``False`` — so it can log
+        ``superseded`` instead of a second completion.  On filesystems
+        without hard links it degrades to a checked atomic replace, which
+        with determinism still yields identical bytes either way.
+        """
+        from repro.utils.io import _NumpyJSONEncoder
+
+        data = json.dumps(record, sort_keys=True, cls=_NumpyJSONEncoder).encode("utf-8")
+        target = self.result_path(task_id)
+        tmp = target.with_name(f".{target.name}.pub-{os.getpid()}-{uuid.uuid4().hex[:6]}")
+        tmp.write_bytes(data)
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            return False
+        except OSError:
+            if target.exists():
+                return False
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return True
+
     def read_result(self, task_id: str) -> dict[str, Any] | None:
         """The outcome of ``task_id``, or ``None`` when absent/unreadable."""
         try:
@@ -421,6 +595,14 @@ class FileQueueWorker:
     in-process tests (via :meth:`run_once`).  ``execute`` is injectable so
     tests can steer timing and failures; the default resolves each spec's
     registered executor through :func:`repro.engine.core.execute_job`.
+
+    ``tags`` declares this worker's capabilities (``repro-worker --tags``):
+    a tagged worker only claims tasks whose declared requirements it covers
+    (:func:`repro.engine.scheduler.capabilities_match`) — it skips the rest
+    instead of claiming and poisoning them; ``None`` (untagged, the default)
+    claims anything.  ``throttle`` sleeps that many seconds before each
+    execution — a testing/staging aid for simulating a slow fleet member
+    (the lease keeps heartbeating through the sleep).
     """
 
     def __init__(
@@ -431,6 +613,8 @@ class FileQueueWorker:
         heartbeat_interval: float | None = None,
         poll_interval: float = DEFAULT_WORKER_POLL_INTERVAL,
         execute: Callable[[Any], Any] | None = None,
+        tags: Any = None,
+        throttle: float = 0.0,
     ):
         self.spool = spool if isinstance(spool, FileQueueSpool) else FileQueueSpool(spool)
         self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
@@ -444,8 +628,16 @@ class FileQueueWorker:
         )
         self.poll_interval = float(poll_interval)
         self._execute = execute
+        self.tags = None if tags is None else frozenset(str(t) for t in tags)
+        self.throttle = max(0.0, float(throttle))
         self.executed = 0
         self.failed = 0
+        #: Executions whose publish lost the first-publisher race to a
+        #: speculative twin (or a prior owner): the work ran but the result
+        #: on disk is someone else's identical bytes.
+        self.superseded = 0
+        #: Tasks skipped because their requirements exceed this worker's tags.
+        self.skipped = 0
         #: cache-tier spec -> tier, memoised across tasks so a fleet worker
         #: keeps one remote connection instead of a handshake per job.
         self._tiers: dict[str, Any] = {}
@@ -496,8 +688,18 @@ class FileQueueWorker:
         return cache_spec
 
     def run_once(self) -> str | None:
-        """Claim and fully process one task; returns its id (None when idle)."""
-        for task_id in self.spool.task_ids():
+        """Claim and fully process one task; returns its id (None when idle).
+
+        Tasks are tried in the fleet's claim order — priority descending,
+        then oldest envelope first (:meth:`FileQueueSpool.pending`) — and a
+        tagged worker skips, without claiming, any task whose requirements
+        it does not cover, leaving it runnable for a capable fleet member.
+        """
+        for task in self.spool.pending():
+            if not capabilities_match(task.requires, self.tags):
+                self.skipped += 1
+                continue  # not capable: leave it for a worker that is
+            task_id = task.task_id
             claim = self.spool.claim(task_id, owner=self.worker_id)
             if claim is None:
                 continue  # lost the race to another worker
@@ -516,7 +718,7 @@ class FileQueueWorker:
         record: dict[str, Any] = {"task_id": task_id, "worker_id": self.worker_id}
         spec = None
         try:
-            envelope = pickle.loads(claim.read_bytes())
+            envelope = self.spool.load_envelope(claim.read_bytes())
             spec = envelope["spec"]
         except Exception as exc:
             # A poison task (unpicklable spec, unknown class in this worker's
@@ -550,6 +752,8 @@ class FileQueueWorker:
                 self.spool, task_id, self.heartbeat_interval, owner=self.worker_id
             ):
                 try:
+                    if self.throttle:
+                        time.sleep(self.throttle)
                     outcome = self._run_spec(spec)
                     payload = outcome.to_payload()
                 except Exception as exc:
@@ -570,8 +774,12 @@ class FileQueueWorker:
                         )
                     else:
                         record.update(status="completed", payload=payload)
+        # Stamped on the *result* record, not just the worker log: the
+        # submitting transport feeds these into its rolling-median duration
+        # tracker, which is what arms straggler re-dispatch.
+        record["duration_s"] = round(time.time() - started, 6)
         try:
-            self.spool.write_result(task_id, record)
+            published = self.spool.publish_result(task_id, record)
         except (TypeError, ValueError) as exc:
             # An unserialisable payload must still resolve the task, exactly
             # like a poison task — otherwise the write failure would kill the
@@ -584,9 +792,17 @@ class FileQueueWorker:
                 "status": "failed",
                 "error_type": type(exc).__name__,
                 "error_message": f"result payload is not JSON-serialisable: {exc}",
+                "duration_s": record.get("duration_s"),
             }
-            self.spool.write_result(task_id, record)
-        if record["status"] == "completed":
+            published = self.spool.publish_result(task_id, record)
+        if not published:
+            # Lost the first-publisher race: a speculative twin (or a prior
+            # owner that died after writing) already resolved this task with
+            # identical bytes.  The execution is *discarded*, not counted —
+            # a job is executed-to-completion exactly once in the logs.
+            record = dict(record, status="superseded")
+            self.superseded += 1
+        elif record["status"] == "completed":
             self.executed += 1
         else:
             self.failed += 1
@@ -653,6 +869,16 @@ class FileQueueTransport(Transport):
     reach, workers write payloads straight into it, and harvesting resolves
     them back out (see the module docstring).  Derived from
     ``PipelineConfig.spool_payloads = False`` by the transport factory.
+
+    Scheduling (all from :mod:`repro.engine.scheduler`, all hash-neutral):
+    ``default_priority`` is the envelope priority of specs nobody stamped
+    with ``set_priority`` (``PipelineConfig.transport_priority``);
+    ``speculate`` re-dispatches a shadow copy of any task claimed for longer
+    than that multiple of the fleet's rolling median job duration
+    (``transport_speculate``; ``None`` disables); ``max_workers`` lets
+    ``_maintain`` grow the spawned fleet with queue depth up to that ceiling
+    and retire idle extras (``transport_max_workers``; ``None`` pins the
+    fleet at ``workers``).
     """
 
     name: ClassVar[str] = "filequeue"
@@ -668,6 +894,9 @@ class FileQueueTransport(Transport):
         poll_interval: float = 0.05,
         respawn_limit: int = 5,
         cache_spec: str | None = None,
+        default_priority: int = DEFAULT_PRIORITY,
+        speculate: float | None = None,
+        max_workers: int | None = None,
     ):
         self.spool = FileQueueSpool(spool_dir)
         self.cache_spec = str(cache_spec) if cache_spec else None
@@ -676,10 +905,23 @@ class FileQueueTransport(Transport):
         self.lease_timeout = float(lease_timeout)
         self.poll_interval = max(0.005, float(poll_interval))
         self.respawn_limit = int(respawn_limit)
+        self.default_priority = int(default_priority)
+        self.speculate = float(speculate) if speculate else None
+        self.max_workers = (
+            None if max_workers is None else max(self.worker_count, int(max_workers))
+        )
         self.batch_id = uuid.uuid4().hex[:8]
         self.workers: list[subprocess.Popen] = []
         self.reclaimed = 0
         self.respawned = 0
+        #: Rolling job durations harvested from this batch's result records —
+        #: the straggler detector's baseline for "how long jobs take here".
+        self.durations = DurationTracker()
+        #: Task ids already shadow-dispatched (at most one shadow per task).
+        self._speculated: set[str] = set()
+        self.speculated = 0
+        self.elastic_spawned = 0
+        self.retired = 0
         self._outstanding: dict[str, int] = {}
         self._bad_reads: dict[str, int] = {}
         self._log_handles: list[Any] = []
@@ -702,7 +944,16 @@ class FileQueueTransport(Transport):
         self._submitted = True
         for index, spec in enumerate(specs):
             task_id = f"{self.batch_id}-{index:05d}-{spec.content_hash()[:16]}"
-            self.spool.enqueue(task_id, spec, cache_spec=self.cache_spec)
+            # Scheduling metadata rides the envelope header, never the hash:
+            # per-spec priority (Engine.submit(priority=...) / set_priority)
+            # over the config default, plus the capability tags a claiming
+            # worker must declare.
+            self.spool.enqueue(
+                task_id, spec,
+                cache_spec=self.cache_spec,
+                priority=job_priority(spec, self.default_priority),
+                requires=job_requirements(spec),
+            )
             self._outstanding[task_id] = index
         for _ in range(self.worker_count):
             self._spawn_worker()
@@ -723,7 +974,7 @@ class FileQueueTransport(Transport):
         self._last_activity = time.monotonic()
         return len(self._outstanding)
 
-    def _spawn_worker(self) -> None:
+    def _spawn_worker(self, idle_exit: float | None = None) -> None:
         import repro
 
         worker_id = f"{self.batch_id}-w{len(self.workers)}-{uuid.uuid4().hex[:4]}"
@@ -732,19 +983,20 @@ class FileQueueTransport(Transport):
         env["PYTHONPATH"] = src_dir + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
+        args = [
+            sys.executable, "-m", "repro.cli.worker", str(self.spool.root),
+            "--worker-id", worker_id,
+            "--lease-timeout", str(self.lease_timeout),
+            "--poll-interval", str(max(0.02, min(self.poll_interval, 0.5))),
+        ]
+        if idle_exit is not None:
+            # Elastic extras retire themselves when the queue drains; the
+            # fleet tender then drops their clean exit without charging the
+            # respawn cap.
+            args += ["--idle-exit", str(idle_exit)]
         log = (self.spool.log_dir / f"{worker_id}.out").open("ab")
         self._log_handles.append(log)
-        proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro.cli.worker", str(self.spool.root),
-                "--worker-id", worker_id,
-                "--lease-timeout", str(self.lease_timeout),
-                "--poll-interval", str(max(0.02, min(self.poll_interval, 0.5))),
-            ],
-            env=env,
-            stdout=log,
-            stderr=subprocess.STDOUT,
-        )
+        proc = subprocess.Popen(args, env=env, stdout=log, stderr=subprocess.STDOUT)
         self.workers.append(proc)
 
     # -- harvesting ------------------------------------------------------------------
@@ -798,6 +1050,17 @@ class FileQueueTransport(Transport):
                     ))
                 continue
             index = self._outstanding.pop(task_id)
+            # Feed the straggler detector: the rolling median of completed
+            # jobs is what "claimed for suspiciously long" is measured
+            # against.
+            self.durations.add(record.get("duration_s"))
+            if task_id in self._speculated:
+                # The result landed while a shadow copy sat unclaimed in
+                # tasks/ — withdraw it so no worker runs the twin for
+                # nothing.  (A *claimed* shadow has no task file; its
+                # publisher loses the create-exclusive result write and logs
+                # "superseded".)
+                self.spool.remove_task(task_id)
             completions.append(self._completion(index, task_id, record))
         if completions:
             self._last_activity = time.monotonic()
@@ -891,11 +1154,82 @@ class FileQueueTransport(Transport):
                 "sentinel and resume the session to finish the batch"
             )
         self._warn_if_stalled()
-        if not self.workers:
+        self._speculate_stragglers()
+        self._tend_fleet()
+
+    def _speculate_stragglers(self) -> None:
+        """Clone tasks claimed for > k× the rolling median into shadow tasks.
+
+        The shadow is a byte-identical copy of the claim placed back into
+        ``tasks/`` under the same task id: any idle worker claims it and runs
+        the job a second time.  Whichever twin publishes first wins the
+        (create-exclusive) result file; the loser logs ``superseded``.  The
+        straggler keeps its claim — this *copies*, never renames — so if the
+        shadow is the one that crashes, nothing was lost.
+        """
+        if not self.speculate or len(self.durations) < MIN_SPECULATION_SAMPLES:
             return
+        threshold = speculation_threshold(self.speculate, self.durations.median())
+        if threshold is None:
+            return
+        now = time.time()
+        for task_id in list(self._outstanding):
+            if task_id in self._speculated:
+                continue  # one shadow per task: twins, never triplets
+            claim = self.spool.claim_path(task_id)
+            try:
+                # The claim's own mtime is heartbeat-refreshed (it IS the
+                # lease), so it cannot measure how long the job has run; the
+                # ownership sidecar is written once at claim time and never
+                # touched again — its age is the claim's age.
+                age = self.spool.lease_age(
+                    self.spool.owner_path(task_id).stat().st_mtime, now=now
+                )
+            except OSError:
+                continue  # unclaimed, or released under us
+            if age <= threshold:
+                continue
+            if self.spool.result_path(task_id).exists():
+                continue  # finished; the next harvest collects it
+            if self.spool.task_path(task_id).exists():
+                continue  # already back in tasks/ (reclaimed lease)
+            try:
+                claim_bytes = claim.read_bytes()
+            except OSError:
+                continue  # finished/released between the stat and the read
+            self.spool._atomic_write(self.spool.task_path(task_id), claim_bytes)
+            self._speculated.add(task_id)
+            self.speculated += 1
+            logger.warning(
+                "filequeue %s: task %s claimed for %.1fs (> %.1fs threshold); "
+                "re-dispatched a shadow copy",
+                self.batch_id, task_id, age, threshold,
+            )
+
+    def _tend_fleet(self) -> None:
+        """Reap exited workers (respawn crashes, retire clean surplus exits)
+        and grow the fleet toward the queue-depth-desired size."""
+        if not self.workers and self.max_workers is None:
+            return  # external fleet: nothing spawned, nothing to tend
+        desired = desired_fleet_size(
+            self.spool.pending_count(),
+            minimum=self.worker_count,
+            maximum=self.max_workers,
+        )
         for i, proc in enumerate(self.workers):
             if proc.poll() is None:
                 continue
+            if proc.returncode == 0 and len(self.workers) > desired:
+                # A surplus elastic extra retired itself (idle-exit after the
+                # queue drained): planned shrinkage, not a crash — it does
+                # not charge the respawn cap.
+                del self.workers[i]
+                self.retired += 1
+                logger.info(
+                    "filequeue %s: retired a surplus worker (%d left, %d desired)",
+                    self.batch_id, len(self.workers), desired,
+                )
+                return  # list mutated; the next _maintain pass checks the rest
             self.respawned += 1
             if self.respawned > self.respawn_limit:
                 raise EngineError(
@@ -909,7 +1243,16 @@ class FileQueueTransport(Transport):
             )
             del self.workers[i]
             self._spawn_worker()
-            break  # list mutated; the next _maintain pass checks the rest
+            return  # list mutated; the next _maintain pass checks the rest
+        if len(self.workers) < desired:
+            # Grow by at most one per pass: queue depth is re-measured each
+            # cycle, so a burst that drains quickly never over-spawns.
+            self._spawn_worker(idle_exit=max(2.0, 10 * self.poll_interval))
+            self.elastic_spawned += 1
+            logger.info(
+                "filequeue %s: queue depth grew the fleet to %d workers (%d desired)",
+                self.batch_id, len(self.workers), desired,
+            )
 
     def _warn_if_stalled(self) -> None:
         """Log (periodically) when nothing is completing *and* nothing is
@@ -947,6 +1290,10 @@ class FileQueueTransport(Transport):
             self.spool.remove_task(task_id)
             self.spool.release(task_id)
         self._outstanding.clear()
+        for task_id in self._speculated:
+            # Shadow copies of withdrawn tasks must not outlive the batch.
+            self.spool.remove_task(task_id)
+        self._speculated.clear()
         for proc in self.workers:
             if proc.poll() is None:
                 proc.terminate()
@@ -971,6 +1318,9 @@ class FileQueueTransport(Transport):
             "reclaimed": self.reclaimed,
             "respawned": self.respawned,
             "spawned_workers": len(self.workers),
+            "speculated": self.speculated,
+            "elastic_spawned": self.elastic_spawned,
+            "retired": self.retired,
         }
 
 
@@ -1009,6 +1359,9 @@ def _build_filequeue(config: Any, processes: int) -> FileQueueTransport:
         lease_timeout=getattr(config, "transport_lease_timeout", DEFAULT_LEASE_TIMEOUT),
         poll_interval=getattr(config, "transport_poll_interval", 0.05),
         cache_spec=cache_spec,
+        default_priority=getattr(config, "transport_priority", DEFAULT_PRIORITY),
+        speculate=getattr(config, "transport_speculate", None),
+        max_workers=getattr(config, "transport_max_workers", None),
     )
 
 

@@ -92,7 +92,11 @@ class NetworkTransport(Transport):
         self._unsent: deque[int] = deque()
         self._inflight: dict[int, Any] = {}
         self._busy_retries: dict[int, int] = {}
-        self._retry_at = 0.0  # backoff gate after a busy rejection
+        #: Per-job backoff deadlines after ``busy`` rejections.  Scoped to the
+        #: rejected index on purpose: one slow job backing off must not
+        #: head-of-line block sends of every *other* unsent job while the
+        #: window has room.
+        self._retry_at: dict[int, float] = {}
         self._window = self.max_inflight
         self._submitted = False
         self._cancelled = False
@@ -154,21 +158,31 @@ class NetworkTransport(Transport):
         return len(self._specs)
 
     def _pump(self) -> None:
-        """Top the in-flight window up from the unsent queue."""
-        if self._retry_at and time.monotonic() < self._retry_at:
-            return  # backing off after a busy rejection
-        self._retry_at = 0.0
+        """Top the in-flight window up from the unsent queue.
+
+        Jobs inside their per-index busy backoff are held back (and re-queued
+        behind everything else); every other job keeps flowing — the backoff
+        paces the rejected job, not the whole batch.
+        """
+        now = time.monotonic()
+        held: list[int] = []
         while self._unsent and len(self._inflight) < self._window and self._dead is None:
             index = self._unsent.popleft()
+            if self._retry_at.get(index, 0.0) > now:
+                held.append(index)
+                continue
+            self._retry_at.pop(index, None)
             try:
                 send_message(self._sock, {
                     "type": "job", "index": index, "spec": self._specs[index],
                 })
             except (OSError, ProtocolError) as exc:
                 self._unsent.appendleft(index)
+                self._unsent.extend(held)
                 self._mark_dead(f"cannot send job to server: {exc}")
                 return
             self._inflight[index] = self._specs[index]
+        self._unsent.extend(held)
 
     # -- harvesting ------------------------------------------------------------------
 
@@ -223,6 +237,7 @@ class NetworkTransport(Transport):
                 if index in self._inflight:
                     del self._inflight[index]
                     self._busy_retries.pop(index, None)
+                    self._retry_at.pop(index, None)
                     completions.append(self._completion(index, message.get("record") or {}))
             elif kind == "busy":
                 index = message.get("index")
@@ -242,11 +257,12 @@ class NetworkTransport(Transport):
                     else:
                         self._busy_retries[index] = retries
                         self._unsent.append(index)
-                        # Linear backoff before re-offering the job: a full
-                        # server rejects at wire speed, and retrying in a
-                        # tight loop would burn the whole retry budget before
-                        # any capacity can possibly free up.
-                        self._retry_at = time.monotonic() + min(
+                        # Linear backoff before re-offering *this* job: a
+                        # full server rejects at wire speed, and retrying in
+                        # a tight loop would burn the whole retry budget
+                        # before any capacity can possibly free up.  Scoped
+                        # per index — other jobs are not paced by it.
+                        self._retry_at[index] = time.monotonic() + min(
                             1.0, 4 * self.poll_interval * retries
                         )
             elif kind == "error":
@@ -312,6 +328,7 @@ class NetworkTransport(Transport):
             )
         self._inflight.clear()
         self._unsent.clear()
+        self._retry_at.clear()
         return completions
 
     # -- lifecycle -------------------------------------------------------------------
@@ -331,6 +348,7 @@ class NetworkTransport(Transport):
         self._close_socket()
         self._inflight.clear()
         self._unsent.clear()
+        self._retry_at.clear()
 
     def _mark_dead(self, reason: str) -> None:
         if self._dead is None:

@@ -10,6 +10,11 @@ One mixed fold / baseline-fold / dock batch — including an in-batch duplicate
 * on the distributed file-queue transport with a 2-daemon worker fleet —
   cold, and with one fleet member SIGKILLed mid-sweep followed by an
   interrupt and a cross-engine resume,
+* with the fleet scheduler fully armed (priority classes, speculative
+  straggler re-dispatch, an elastic worker ceiling) versus every knob off —
+  plus a warm rerun executing zero jobs — and on a heterogeneous
+  capability-tagged fleet (one fold-only worker, one generalist) versus the
+  homogeneous fleet,
 * over a socket against a live ``repro-serve`` daemon (the ``network``
   transport) — cold, warm through the server's shared cache, with the
   client disconnecting mid-batch and resuming, and with the *server* killed
@@ -187,6 +192,80 @@ def test_filequeue_worker_kill_then_resume_is_bit_identical_to_serial(
     assert resumed.summary()["cached"] == completed_before
     assert resumed_engine.stats()["executed_jobs"] == 5 - completed_before
     assert resumed_engine.stats()["failed_jobs"] == 0
+
+
+def test_scheduler_knobs_on_are_bit_identical_to_scheduler_off(reference_run, tmp_path):
+    """The scheduler clause: priority classes, speculation and elastic sizing
+    decide *where and when* jobs run, never what they compute — every knob on
+    must equal every knob off, and a warm rerun executes zero jobs."""
+    from repro.engine import set_priority
+
+    config = _filequeue_config(
+        tmp_path,
+        cache_dir=str(tmp_path / "cache"),
+        transport_priority=3,
+        transport_speculate=50.0,  # armed, but no job is 50x the median here
+        transport_max_workers=3,
+    )
+    engine = Engine(config=config)
+    jobs = _mixed_jobs(engine)
+    set_priority(jobs[2], 9)  # mixed priority classes within one batch
+    set_priority(jobs[4], 1)
+    assert _canonical(engine.run(jobs)) == reference_run
+    assert engine.stats()["executed_jobs"] == 5  # the duplicate never executes
+
+    warm = Engine(config=config)
+    assert _canonical(warm.run(_mixed_jobs(warm))) == reference_run
+    assert warm.stats()["executed_jobs"] == 0
+    assert warm.stats()["cache"]["misses"] == 0
+
+
+def test_heterogeneous_tagged_fleet_is_bit_identical_to_homogeneous(
+    reference_run, tmp_path
+):
+    """A capability-partitioned fleet (one fold-only worker, one untagged)
+    with mixed priorities drains the same batch to the same bytes as the
+    homogeneous fleet and the serial reference."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    config = _filequeue_config(tmp_path, transport_priority=2).with_updates(
+        transport_workers=0  # the heterogeneous fleet below replaces the spawned one
+    )
+    engine = Engine(config=config)
+    spool_dir = config.spool_dir
+    env = dict(os.environ)
+    src_dir = str(__import__("pathlib").Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    def spawn(tags: str | None) -> subprocess.Popen:
+        args = [
+            sys.executable, "-m", "repro.cli.worker", spool_dir,
+            "--poll-interval", "0.02", "--lease-timeout", "5",
+        ]
+        if tags:
+            args += ["--tags", tags]
+        return subprocess.Popen(
+            args, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+
+    workers = [spawn("fold"), spawn(None)]  # restricted + generalist
+    try:
+        assert _canonical(engine.run(_mixed_jobs(engine))) == reference_run
+        assert engine.stats()["executed_jobs"] == 5
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
 
 
 def _network_config(port: int, **updates) -> PipelineConfig:
@@ -408,6 +487,9 @@ def test_session_knobs_never_enter_job_hashes():
             transport_workers=7,
             transport_lease_timeout=1.5,
             transport_poll_interval=0.5,
+            transport_priority=9,
+            transport_speculate=2.5,
+            transport_max_workers=16,
             serve_host="10.1.2.3",
             serve_port=9999,
             serve_max_inflight=2,

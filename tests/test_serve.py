@@ -10,6 +10,7 @@ import json
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, ClassVar
 
@@ -294,6 +295,84 @@ def test_transport_requeues_after_busy_until_capacity_frees_up():
     finally:
         gate.set()
     assert sorted(index for index, _, _ in completions) == [0, 1]
+    assert all(exc is None for _, _, exc in completions)
+
+
+def test_busy_backoff_is_scoped_to_the_rejected_job_only():
+    """The head-of-line regression: one job's busy backoff used to gate *all*
+    sends through a single scalar deadline; it must hold back only the
+    rejected index while every other unsent job keeps flowing."""
+    transport = NetworkTransport("127.0.0.1", 1, poll_interval=0.01)
+    wire = FrameBuffer()
+
+    class _Sock:
+        def sendall(self, data: bytes) -> None:
+            wire.feed(data)
+
+    transport._sock = _Sock()
+    transport._specs = [PingSpec("a"), PingSpec("b"), PingSpec("c")]
+    transport._unsent = deque([0, 1, 2])
+    transport._window = 8
+    transport._retry_at = {0: time.monotonic() + 60.0}  # job 0 is backing off
+    transport._pump()
+    sent = []
+    while (message := wire.next_message()) is not None:
+        sent.append(message["index"])
+    assert sent == [1, 2]  # unaffected jobs keep flowing
+    assert list(transport._unsent) == [0]  # the rejected job is merely held
+    assert set(transport._inflight) == {1, 2}
+    # Once its deadline passes, the held job goes out too.
+    transport._retry_at[0] = 0.0
+    transport._pump()
+    assert wire.next_message()["index"] == 0
+    assert set(transport._inflight) == {0, 1, 2} and not transport._unsent
+
+
+def test_one_jobs_backoff_does_not_stall_the_rest_against_a_full_server():
+    gate = threading.Event()
+
+    def gated(spec):
+        if spec.pdb_id == "slow":
+            gate.wait(timeout=10.0)
+        return execute_baseline_job(spec)
+
+    try:
+        # max_pending=1: "slow" fills the only slot, so "b" and "c" are both
+        # busy-rejected and land in per-job backoff.
+        with ReproServer(workers=0, max_pending=1, execute=gated) as server:
+            transport = NetworkTransport("127.0.0.1", server.port, poll_interval=0.01)
+            transport.submit([
+                _baseline_spec(pdb_id="slow"),
+                _baseline_spec(pdb_id="bbbb"),
+                _baseline_spec(pdb_id="cccc"),
+            ])
+            completions = []
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not (
+                {1, 2} <= set(transport._unsent)
+            ):
+                completions.extend(transport.poll(timeout=0.05))
+            assert {1, 2} <= set(transport._unsent)
+            # Pin "b" in a long backoff (as if rejected many more times); the
+            # transport is driven only by this thread, so the deadline is in
+            # force at every subsequent _pump.  A global gate would now stall
+            # "c" as well — the pre-fix behaviour.
+            transport._retry_at[1] = time.monotonic() + 30.0
+            gate.set()
+            deadline = time.monotonic() + 10.0
+            while len(completions) < 2 and time.monotonic() < deadline:
+                completions.extend(transport.poll(timeout=0.2))
+            assert sorted(index for index, _, _ in completions) == [0, 2]
+            assert transport.outstanding() == 1  # only the pinned job remains
+            transport._retry_at[1] = 0.0  # backoff over: it drains too
+            deadline = time.monotonic() + 10.0
+            while transport.outstanding() and time.monotonic() < deadline:
+                completions.extend(transport.poll(timeout=0.2))
+            transport.cancel()
+            assert server.stats()["jobs_rejected"] >= 2
+    finally:
+        gate.set()
+    assert sorted(index for index, _, _ in completions) == [0, 1, 2]
     assert all(exc is None for _, _, exc in completions)
 
 
